@@ -1,0 +1,85 @@
+// Ablations for the design choices DESIGN.md calls out:
+//  1. Alg. 2 (greedy reverse) vs the exhaustive planner: estimated
+//     plan cost and planning time.
+//  2. Pre-computation on/off at a fixed order: measured totals.
+//  3. Sampling budget sensitivity of the chosen plan.
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace adj::bench {
+namespace {
+
+void Run() {
+  DatasetCache data(ScaleFromEnv());
+  const int servers = ServersFromEnv();
+
+  PrintHeader("Ablation 1: Alg.2 vs exhaustive planner (LJ)");
+  std::printf("%-6s %14s %14s %12s %12s\n", "query", "Alg2 est(s)",
+              "Exh est(s)", "Alg2 plan(s)", "Exh plan(s)");
+  const storage::Catalog& db = data.Get("LJ");
+  core::Engine engine(&db);
+  for (int qi : {2, 4, 5, 6}) {
+    auto q = query::MakeBenchmarkQuery(qi);
+    core::EngineOptions opts = BenchOptions(servers);
+
+    WallTimer t1;
+    auto greedy = engine.Plan(*q, opts);
+    const double greedy_s = t1.Seconds();
+    opts.use_exhaustive_planner = true;
+    WallTimer t2;
+    auto exhaustive = engine.Plan(*q, opts);
+    const double exhaustive_s = t2.Seconds();
+    if (!greedy.ok() || !exhaustive.ok()) {
+      std::printf("%-6s planning failed\n",
+                  query::BenchmarkQueryName(qi).c_str());
+      continue;
+    }
+    std::printf("%-6s %14s %14s %12s %12s\n",
+                query::BenchmarkQueryName(qi).c_str(),
+                Num(greedy->plan.EstTotal()).c_str(),
+                Num(exhaustive->plan.EstTotal()).c_str(),
+                Num(greedy_s).c_str(), Num(exhaustive_s).c_str());
+  }
+
+  PrintHeader("Ablation 2: pre-computation on/off (LJ, measured totals)");
+  std::printf("%-6s %14s %14s\n", "query", "ADJ(co-opt)", "HCubeJ(no-pre)");
+  for (int qi : {4, 5, 6}) {
+    auto q = query::MakeBenchmarkQuery(qi);
+    core::EngineOptions opts = BenchOptions(servers);
+    auto with_pre = engine.Run(*q, core::Strategy::kCoOpt, opts);
+    auto without = engine.Run(*q, core::Strategy::kCommFirst, opts);
+    auto cell = [](const StatusOr<exec::RunReport>& r) {
+      return (r.ok() && r->ok()) ? Num(r->TotalSeconds())
+                                 : std::string("FAIL");
+    };
+    std::printf("%-6s %14s %14s\n", query::BenchmarkQueryName(qi).c_str(),
+                cell(with_pre).c_str(), cell(without).c_str());
+  }
+
+  PrintHeader("Ablation 3: sampling budget vs chosen plan (LJ, Q5)");
+  std::printf("%10s %16s %22s\n", "samples", "est total(s)", "plan");
+  auto q5 = query::MakeBenchmarkQuery(5);
+  for (uint64_t k : {16ull, 64ull, 256ull, 1024ull, 4096ull}) {
+    core::EngineOptions opts = BenchOptions(servers);
+    opts.num_samples = k;
+    auto planned = engine.Plan(*q5, opts);
+    if (!planned.ok()) {
+      std::printf("%10llu planning failed\n",
+                  static_cast<unsigned long long>(k));
+      continue;
+    }
+    std::printf("%10llu %16s   %s\n", static_cast<unsigned long long>(k),
+                Num(planned->plan.EstTotal()).c_str(),
+                planned->plan.ToString(*q5).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace adj::bench
+
+int main() {
+  adj::SetLogLevel(adj::LogLevel::kWarning);
+  adj::bench::Run();
+  return 0;
+}

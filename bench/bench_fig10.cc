@@ -1,0 +1,74 @@
+// Reproduces Fig. 10: cost and accuracy of the sampling-based
+// cardinality estimator on LJ with Q4/Q5/Q6, sweeping the sampling
+// budget. Reports aggregated sampling time and the paper's accuracy
+// metric D = max(est, truth) / min(est, truth).
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "sampling/sampler.h"
+#include "wcoj/leapfrog.h"
+
+namespace adj::bench {
+namespace {
+
+void Run() {
+  DatasetCache data(ScaleFromEnv());
+  const storage::Catalog& db = data.Get("LJ");
+
+  // Ground truth per query via one sequential Leapfrog.
+  PrintHeader("Fig 10: sampling cost and accuracy (LJ)");
+  std::printf("%-6s %10s %12s %12s %10s\n", "query", "samples", "time(s)",
+              "estimate", "D");
+  for (int qi : {4, 5, 6}) {
+    auto q = query::MakeBenchmarkQuery(qi);
+    ADJ_CHECK(q.ok());
+    query::AttributeOrder order;
+    for (int a = 0; a < q->num_attrs(); ++a) order.push_back(a);
+    const std::vector<int> rank = query::RankOf(order, q->num_attrs());
+    std::vector<wcoj::PreparedRelation> prepared;
+    std::vector<wcoj::JoinInput> inputs;
+    for (const query::Atom& atom : q->atoms()) {
+      auto prep = wcoj::PrepareRelation(**db.Get(atom.relation),
+                                        atom.schema.attrs(), rank);
+      ADJ_CHECK(prep.ok());
+      prepared.push_back(std::move(prep.value()));
+    }
+    for (const auto& p : prepared) inputs.push_back({&p.trie, p.attrs});
+    auto truth = wcoj::LeapfrogJoin(inputs, order, nullptr, nullptr);
+    ADJ_CHECK(truth.ok()) << truth.status();
+    const double truth_count = std::max<double>(1.0, double(*truth));
+
+    // Paper sweeps 10^3..10^7 at ~1100x our data scale; we sweep
+    // 10^1..10^4 (10^4 already exceeds |val(A)| here, i.e. full
+    // convergence; larger budgets only re-sample the same values).
+    for (uint64_t k :
+         {10ull, 30ull, 100ull, 300ull, 1000ull, 3000ull, 10000ull}) {
+      sampling::SamplerOptions opts;
+      opts.num_samples = k;
+      opts.seed = 17;
+      auto est = sampling::SampleCardinality(*q, db, order, opts);
+      ADJ_CHECK(est.ok()) << est.status();
+      const double e = std::max(1.0, est->cardinality);
+      const double d =
+          std::max(e, truth_count) / std::min(e, truth_count);
+      std::printf("%-6s %10llu %12s %12s %10.3f\n",
+                  query::BenchmarkQueryName(qi).c_str(),
+                  static_cast<unsigned long long>(k),
+                  Num(est->seconds + est->comm.seconds).c_str(),
+                  Num(e).c_str(), d);
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): D converges to ~1 beyond ~10^{2-3} samples "
+      "at this scale; sampling time flat until the budget dominates.\n");
+}
+
+}  // namespace
+}  // namespace adj::bench
+
+int main() {
+  adj::SetLogLevel(adj::LogLevel::kWarning);
+  adj::bench::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Tables II–IV: co-optimization (ADJ) vs communication-
+// first (HCubeJ) on AS / LJ / OK with Q4–Q6, broken into
+// Optimization / Pre-Computing / Communication / Computation / Total.
+// Pass --exhaustive to ablate Alg. 2 against the exhaustive planner.
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+
+namespace adj::bench {
+namespace {
+
+void Run(bool exhaustive) {
+  DatasetCache data(ScaleFromEnv());
+  const int servers = ServersFromEnv();
+
+  for (const std::string& name : {std::string("AS"), std::string("LJ"),
+                                  std::string("OK")}) {
+    PrintHeader("Table II-IV (" + name + "): Co-Optimization vs "
+                "Communication-First, seconds" +
+                (exhaustive ? " [exhaustive planner]" : ""));
+    std::printf("%-5s | %9s %9s %9s %9s %9s | %9s %9s %9s %9s\n", "query",
+                "Opt", "Pre", "Comm", "Comp", "Total", "Opt", "Comm", "Comp",
+                "Total");
+    const storage::Catalog& db = data.Get(name);
+    core::Engine engine(&db);
+    for (int qi : {4, 5, 6}) {
+      auto q = query::MakeBenchmarkQuery(qi);
+      ADJ_CHECK(q.ok());
+      core::EngineOptions opts = BenchOptions(servers);
+      opts.use_exhaustive_planner = exhaustive;
+
+      auto coopt = engine.Run(*q, core::Strategy::kCoOpt, opts);
+      auto comm_first = engine.Run(*q, core::Strategy::kCommFirst, opts);
+
+      auto cell = [](bool ok, double v) {
+        return ok ? Num(v) : std::string("FAIL");
+      };
+      const bool co_ok = coopt.ok() && coopt->ok();
+      const bool cf_ok = comm_first.ok() && comm_first->ok();
+      std::printf(
+          "%-5s | %9s %9s %9s %9s %9s | %9s %9s %9s %9s\n",
+          query::BenchmarkQueryName(qi).c_str(),
+          cell(co_ok, co_ok ? coopt->optimize_s : 0).c_str(),
+          cell(co_ok, co_ok ? coopt->precompute_s : 0).c_str(),
+          cell(co_ok, co_ok ? coopt->comm_s : 0).c_str(),
+          cell(co_ok, co_ok ? coopt->comp_s : 0).c_str(),
+          cell(co_ok, co_ok ? coopt->TotalSeconds() : 0).c_str(),
+          cell(cf_ok, cf_ok ? comm_first->optimize_s : 0).c_str(),
+          cell(cf_ok, cf_ok ? comm_first->comm_s : 0).c_str(),
+          cell(cf_ok, cf_ok ? comm_first->comp_s : 0).c_str(),
+          cell(cf_ok, cf_ok ? comm_first->TotalSeconds() : 0).c_str());
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): Co-Opt pays small Opt+Pre+Comm overheads "
+      "and slashes Comp; Comm-First Comp dominates or times out.\n");
+}
+
+}  // namespace
+}  // namespace adj::bench
+
+int main(int argc, char** argv) {
+  adj::SetLogLevel(adj::LogLevel::kWarning);
+  bool exhaustive = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--exhaustive") == 0) exhaustive = true;
+  }
+  adj::bench::Run(exhaustive);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Cardinality-estimation explorer: contrasts the paper's
+// sampling-based estimator (Sec. IV) with a classic sketch estimator
+// on progressively more cyclic queries, reporting the accuracy metric
+// D = max(est, truth) / min(est, truth) and the Chernoff–Hoeffding
+// sample-size bound of Lemma 2.
+//
+//   $ ./build/examples/cardinality_explorer
+#include <algorithm>
+#include <cstdio>
+
+#include "dataset/generators.h"
+#include "query/query.h"
+#include "sampling/sampler.h"
+#include "sampling/sketch_estimator.h"
+#include "wcoj/naive_join.h"
+
+namespace {
+
+double DMetric(double est, double truth) {
+  est = std::max(est, 1.0);
+  truth = std::max(truth, 1.0);
+  return std::max(est, truth) / std::min(est, truth);
+}
+
+}  // namespace
+
+int main() {
+  using namespace adj;
+
+  Rng rng(99);
+  storage::Catalog db;
+  db.Put("G", dataset::ZipfGraph(1500, 20000, 0.9, rng));
+
+  const char* queries[] = {
+      "G(a,b) G(b,c)",                         // path (easy)
+      "G(a,b) G(b,c) G(a,c)",                  // triangle (cyclic)
+      "G(a,b) G(b,c) G(c,d) G(d,a)",           // 4-cycle
+      "G(a,b) G(b,c) G(c,d) G(d,a) G(a,c) G(b,d)",  // 4-clique
+  };
+
+  std::printf("Chernoff-Hoeffding (Lemma 2): p=0.05, delta=0.05 needs k=%llu "
+              "samples\n\n",
+              static_cast<unsigned long long>(
+                  sampling::ChernoffSampleCount(0.05, 0.05)));
+  std::printf("%-42s %12s %10s %10s\n", "query", "true |T|", "D(sample)",
+              "D(sketch)");
+  for (const char* text : queries) {
+    StatusOr<query::Query> q = query::Query::Parse(text);
+    if (!q.ok()) return 1;
+    StatusOr<storage::Relation> truth = wcoj::NaiveJoin(*q, db);
+    if (!truth.ok()) return 1;
+
+    // Sampling estimate under the ascending order.
+    query::AttributeOrder order;
+    for (int a = 0; a < q->num_attrs(); ++a) order.push_back(a);
+    sampling::SamplerOptions opts;
+    opts.num_samples = 2000;
+    StatusOr<sampling::SampleEstimate> sample =
+        sampling::SampleCardinality(*q, db, order, opts);
+    if (!sample.ok()) return 1;
+
+    // Sketch estimate.
+    StatusOr<sampling::SketchEstimator> sketch =
+        sampling::SketchEstimator::Build(*q, db);
+    if (!sketch.ok()) return 1;
+    const AtomMask all = (AtomMask(1) << q->num_atoms()) - 1;
+
+    std::printf("%-42s %12llu %10.2f %10.2f\n", text,
+                static_cast<unsigned long long>(truth->size()),
+                DMetric(sample->cardinality, double(truth->size())),
+                DMetric(sketch->EstimateJoin(all), double(truth->size())));
+  }
+  std::printf("\nTakeaway (Sec. IV): sampling stays near D=1 while the "
+              "sketch drifts by orders of magnitude as cycles appear.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+#ifndef ADJ_COMMON_HASH_H_
+#define ADJ_COMMON_HASH_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace adj {
+
+/// 64-bit finalizer (from MurmurHash3) used everywhere a well-mixed
+/// hash of a value is needed.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Per-attribute hash family used by HCube: hash of value `v` under the
+/// hash function of attribute `attr`, reduced modulo `buckets`.
+/// Different attributes use decorrelated functions (seeded by attr).
+inline uint32_t AttributeHash(AttrId attr, Value v, uint32_t buckets) {
+  if (buckets <= 1) return 0;
+  uint64_t h = Mix64((uint64_t(attr) << 32) ^ uint64_t(v) ^ 0x5bd1e995ULL);
+  return static_cast<uint32_t>(h % buckets);
+}
+
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (Mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace adj
+
+#endif  // ADJ_COMMON_HASH_H_

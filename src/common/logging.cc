@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+namespace adj {
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal_logging {
+
+namespace {
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelTag(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= g_level) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kError) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace adj

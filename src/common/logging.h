@@ -1,0 +1,53 @@
+#ifndef ADJ_COMMON_LOGGING_H_
+#define ADJ_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace adj {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo; benches lower it to kWarning to keep output clean.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace adj
+
+#define ADJ_LOG(level)                                                    \
+  ::adj::internal_logging::LogMessage(::adj::LogLevel::k##level, __FILE__, \
+                                      __LINE__)                            \
+      .stream()
+
+#define ADJ_CHECK(cond)                                                 \
+  if (!(cond))                                                          \
+  ::adj::internal_logging::LogMessage(::adj::LogLevel::kError, __FILE__, \
+                                      __LINE__)                          \
+          .stream()                                                      \
+      << "Check failed: " #cond " "
+
+#endif  // ADJ_COMMON_LOGGING_H_

@@ -1,0 +1,57 @@
+#ifndef ADJ_COMMON_RNG_H_
+#define ADJ_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace adj {
+
+/// Deterministic splitmix64-based random number generator. Every
+/// component that needs randomness (dataset generators, samplers,
+/// share-optimizer tie breaking) takes an explicit Rng so runs are
+/// reproducible end to end.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  uint64_t Next64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint32_t Next32() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next64() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipf-distributed sampler over {0, ..., n-1} with exponent `theta`.
+/// Used by the synthetic skewed-dataset generators.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace adj
+
+#endif  // ADJ_COMMON_RNG_H_

@@ -1,0 +1,94 @@
+#ifndef ADJ_COMMON_STATUS_H_
+#define ADJ_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace adj {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,  // memory budget / row-limit exceeded ("OOM" in paper)
+  kDeadlineExceeded,   // 12h-style time budget exceeded
+  kInternal,
+};
+
+/// Error-handling vocabulary for the whole library. Public APIs never
+/// throw; fallible operations return Status or StatusOr<T>.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Minimal StatusOr: either a Status error or a value of type T.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+  const T& operator*() const& { return value_; }
+  T& operator*() & { return value_; }
+  const T* operator->() const { return &value_; }
+  T* operator->() { return &value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+#define ADJ_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::adj::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace adj
+
+#endif  // ADJ_COMMON_STATUS_H_

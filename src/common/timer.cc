@@ -1,0 +1,5 @@
+#include "common/timer.h"
+
+// WallTimer is header-only; this translation unit exists so the build
+// has a stable object for the module.
+namespace adj {}

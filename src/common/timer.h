@@ -1,0 +1,28 @@
+#ifndef ADJ_COMMON_TIMER_H_
+#define ADJ_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace adj {
+
+/// Simple wall-clock stopwatch used for measuring real computation time
+/// (trie builds, Leapfrog runs, sampling) that feeds the cost model.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds since construction or last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace adj
+
+#endif  // ADJ_COMMON_TIMER_H_

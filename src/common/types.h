@@ -1,0 +1,37 @@
+#ifndef ADJ_COMMON_TYPES_H_
+#define ADJ_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adj {
+
+/// A single attribute value. All relations in ADJ are over an integer
+/// domain (graph vertex ids), matching the paper's subgraph-query
+/// workloads where every relation is the edge table of a graph.
+using Value = uint32_t;
+
+/// Index of an attribute within a query's global attribute universe
+/// (e.g., a=0, b=1, ... for Q(a,b,c,d,e)).
+using AttrId = int;
+
+/// A materialized tuple (row) of `arity` values.
+using Tuple = std::vector<Value>;
+
+/// Bitmask over a query's attribute universe. Queries in this system
+/// have at most 32 attributes, which comfortably covers the paper's
+/// workloads (<= 5 attributes).
+using AttrMask = uint32_t;
+
+/// Bitmask over the atoms (relation occurrences) of a query.
+using AtomMask = uint32_t;
+
+inline int PopCount(uint32_t mask) { return __builtin_popcount(mask); }
+
+/// Lowest set bit position; undefined for mask == 0.
+inline int LowestBit(uint32_t mask) { return __builtin_ctz(mask); }
+
+}  // namespace adj
+
+#endif  // ADJ_COMMON_TYPES_H_

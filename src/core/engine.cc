@@ -1,0 +1,372 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/timer.h"
+#include "exec/bigjoin.h"
+#include "exec/binary_join.h"
+#include "exec/hcubej.h"
+#include "exec/precompute.h"
+#include "ghd/decomposition.h"
+#include "optimizer/explain.h"
+#include "sampling/sampler.h"
+#include "sampling/sketch_estimator.h"
+#include "wcoj/naive_join.h"
+
+namespace adj::core {
+namespace {
+
+/// Exact |val(A)|: intersection of the A-projections over the atoms
+/// containing A (cheap; one sorted-set intersection per atom).
+StatusOr<uint64_t> ValDistinct(const query::Query& q,
+                               const storage::Catalog& db, AttrId a) {
+  std::vector<Value> acc;
+  bool first = true;
+  for (const query::Atom& atom : q.atoms()) {
+    const int pos = atom.schema.PositionOf(a);
+    if (pos < 0) continue;
+    StatusOr<const storage::Relation*> base = db.Get(atom.relation);
+    if (!base.ok()) return base.status();
+    std::vector<Value> vals = (*base)->DistinctColumn(pos);
+    if (first) {
+      acc = std::move(vals);
+      first = false;
+    } else {
+      std::vector<Value> merged;
+      std::set_intersection(acc.begin(), acc.end(), vals.begin(), vals.end(),
+                            std::back_inserter(merged));
+      acc = std::move(merged);
+    }
+  }
+  if (first) return Status::InvalidArgument("attribute in no atom");
+  return static_cast<uint64_t>(acc.size());
+}
+
+/// Sub-query restricted to the atoms in `mask`.
+query::Query SubQuery(const query::Query& q, AtomMask mask) {
+  std::vector<query::Atom> atoms;
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    if (mask & (AtomMask(1) << i)) atoms.push_back(q.atom(i));
+  }
+  return query::Query::Make(q.attr_names(), std::move(atoms));
+}
+
+/// Atoms of `q` whose schema is contained in `attrs`.
+AtomMask AtomsWithin(const query::Query& q, AttrMask attrs) {
+  AtomMask mask = 0;
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    if ((q.atom(i).schema.Mask() & ~attrs) == 0) mask |= (AtomMask(1) << i);
+  }
+  return mask;
+}
+
+/// Ascending-attribute order covering a sub-query.
+query::AttributeOrder AscendingOrder(const query::Query& sub) {
+  AttrMask attrs = 0;
+  for (const query::Atom& atom : sub.atoms()) attrs |= atom.schema.Mask();
+  query::AttributeOrder order;
+  for (int a = 0; a < sub.num_attrs(); ++a) {
+    if (attrs & (AttrMask(1) << a)) order.push_back(a);
+  }
+  return order;
+}
+
+double CalibratedBetaPrecomputed() {
+  static const double kBeta = optimizer::CalibrateBetaPrecomputed();
+  return kBeta;
+}
+
+/// Shared estimation state for one planning run: memoizes sub-query
+/// cardinalities keyed by atom mask.
+class EstimationContext {
+ public:
+  EstimationContext(const query::Query& q, const storage::Catalog& db,
+                    const EngineOptions& options)
+      : q_(q), db_(db), options_(options) {}
+
+  /// Estimated size of the join of the atoms in `mask` (1.0 if empty).
+  double JoinSize(AtomMask mask) {
+    if (mask == 0) return 1.0;
+    auto it = cache_.find(mask);
+    if (it != cache_.end()) return it->second;
+    double size;
+    if (options_.use_exact_estimates) {
+      StatusOr<storage::Relation> exact = wcoj::NaiveJoin(
+          SubQuery(q_, mask), db_, options_.limits.max_extensions);
+      size = exact.ok() ? double(exact->size())
+                        : std::numeric_limits<double>::infinity();
+    } else {
+      query::Query sub = SubQuery(q_, mask);
+      sampling::SamplerOptions sopts;
+      // Sub-queries are cheaper than the full query; a fraction of the
+      // sample budget suffices for plan-quality decisions.
+      sopts.num_samples = std::max<uint64_t>(options_.num_samples / 8, 32);
+      sopts.seed = options_.seed ^ (uint64_t(mask) * 0x9E3779B97F4A7C15ULL);
+      sopts.per_sample_limits = options_.limits;
+      sopts.distributed = false;  // the one-time reduction is accounted
+                                  // by the main sampling pass
+      StatusOr<sampling::SampleEstimate> est = sampling::SampleCardinality(
+          sub, db_, AscendingOrder(sub), sopts, options_.cluster.net,
+          options_.cluster.num_servers);
+      size = est.ok() ? est->cardinality
+                      : std::numeric_limits<double>::infinity();
+      sampling_seconds_ += est.ok() ? est->seconds : 0.0;
+    }
+    cache_[mask] = size;
+    return size;
+  }
+
+  double Distinct(AttrId a) {
+    auto it = distinct_.find(a);
+    if (it != distinct_.end()) return it->second;
+    StatusOr<uint64_t> v = ValDistinct(q_, db_, a);
+    const double d = v.ok() ? double(*v) : 1.0;
+    distinct_[a] = d;
+    return d;
+  }
+
+  void Seed(AtomMask mask, double size) { cache_[mask] = size; }
+
+  double sampling_seconds() const { return sampling_seconds_; }
+
+ private:
+  const query::Query& q_;
+  const storage::Catalog& db_;
+  const EngineOptions& options_;
+  std::map<AtomMask, double> cache_;
+  std::map<AttrId, double> distinct_;
+  double sampling_seconds_ = 0.0;
+};
+
+}  // namespace
+
+namespace {
+
+/// Order score shared by the comm-first baseline (over all orders) and
+/// ADJ's valid-order selection: total estimated intermediate bindings
+/// across the order's prefixes.
+double SketchOrderScore(const sampling::SketchEstimator& sketch,
+                        const query::AttributeOrder& order) {
+  double score = 0.0;
+  AttrMask prefix = 0;
+  for (AttrId a : order) {
+    prefix |= (AttrMask(1) << a);
+    score += sketch.EstimateBindings(prefix);
+  }
+  return score;
+}
+
+}  // namespace
+
+StatusOr<query::AttributeOrder> Engine::SelectCommFirstOrder(
+    const query::Query& q) const {
+  StatusOr<sampling::SketchEstimator> sketch =
+      sampling::SketchEstimator::Build(q, *db_);
+  if (!sketch.ok()) return sketch.status();
+  double best_score = std::numeric_limits<double>::infinity();
+  query::AttributeOrder best;
+  for (const query::AttributeOrder& order :
+       query::AllOrders(q.AllAttrs())) {
+    const double score = SketchOrderScore(*sketch, order);
+    if (score < best_score) {
+      best_score = score;
+      best = order;
+    }
+  }
+  if (best.empty()) return Status::Internal("no order found");
+  return best;
+}
+
+StatusOr<PlanResult> Engine::Plan(const query::Query& q,
+                                  const EngineOptions& options) {
+  WallTimer timer;
+  PlanResult result;
+
+  StatusOr<ghd::Decomposition> decomp = ghd::FindOptimalGhd(q);
+  if (!decomp.ok()) return decomp.status();
+
+  // Main sampling pass over the full query: cardinality + beta_raw +
+  // the modeled reduced-database shuffle of Sec. IV. Sample under a
+  // hypertree-valid order — pinned Leapfrogs inherit the same
+  // intermediate-explosion risk as full ones, and valid orders bound
+  // it (Sec. III-A).
+  query::AttributeOrder sampling_order = AscendingOrder(q);
+  {
+    std::vector<query::AttributeOrder> valid =
+        ghd::ValidAttributeOrders(*decomp, q);
+    if (!valid.empty()) sampling_order = valid.front();
+  }
+  sampling::SamplerOptions sopts;
+  sopts.num_samples = options.num_samples;
+  sopts.seed = options.seed;
+  sopts.per_sample_limits = options.limits;
+  sopts.distributed = true;
+  StatusOr<sampling::SampleEstimate> full_est = sampling::SampleCardinality(
+      q, *db_, sampling_order, sopts, options.cluster.net,
+      options.cluster.num_servers);
+  if (full_est.ok()) {
+    result.sampling_comm_s = full_est->comm.seconds;
+    result.beta_raw = full_est->beta_extensions_per_s;
+  }
+
+  EstimationContext ctx(q, *db_, options);
+  if (full_est.ok()) {
+    // The full-query cardinality is already estimated; seed the
+    // sub-query cache so Alg. 2 does not re-sample it.
+    ctx.Seed((AtomMask(1) << q.num_atoms()) - 1, full_est->cardinality);
+  }
+
+  optimizer::PlanningInputs in;
+  in.q = &q;
+  in.decomp = &decomp.value();
+  in.cluster = options.cluster;
+  in.cost_model.net = options.cluster.net;
+  in.cost_model.num_servers = options.cluster.num_servers;
+  in.cost_model.beta_precomputed = CalibratedBetaPrecomputed();
+  if (result.beta_raw > 1.0) {
+    in.cost_model.beta_raw =
+        std::min(result.beta_raw, in.cost_model.beta_precomputed);
+  }
+  for (const query::Atom& atom : q.atoms()) {
+    StatusOr<const storage::Relation*> base = db_->Get(atom.relation);
+    if (!base.ok()) return base.status();
+    in.atom_tuples.push_back((*base)->size());
+  }
+  in.estimate_bindings = [&](AttrMask attrs) {
+    return ctx.JoinSize(AtomsWithin(q, attrs));
+  };
+  in.estimate_bag_size = [&](int v) {
+    return ctx.JoinSize(decomp->bags[size_t(v)].atoms);
+  };
+  in.estimate_distinct = [&](AttrId a) { return ctx.Distinct(a); };
+  StatusOr<sampling::SketchEstimator> sketch =
+      sampling::SketchEstimator::Build(q, *db_);
+  if (sketch.ok()) {
+    in.order_score = [&](const query::AttributeOrder& order) {
+      return SketchOrderScore(*sketch, order);
+    };
+  }
+
+  StatusOr<optimizer::QueryPlan> plan =
+      options.use_exhaustive_planner ? optimizer::OptimizeExhaustivePlan(in)
+                                     : optimizer::OptimizeAdaptivePlan(in);
+  if (!plan.ok()) return plan.status();
+  result.plan = std::move(plan.value());
+  result.explanation = optimizer::ExplainPlan(in, result.plan);
+  result.optimize_s = timer.Seconds() + result.sampling_comm_s;
+  return result;
+}
+
+StatusOr<exec::RunReport> Engine::RunCoOpt(const query::Query& q,
+                                           const EngineOptions& options) {
+  StatusOr<PlanResult> planned = Plan(q, options);
+  if (!planned.ok()) return planned.status();
+  const optimizer::QueryPlan& plan = planned->plan;
+
+  exec::RunReport report;
+  report.method = "ADJ";
+  report.optimize_s = planned->optimize_s;
+  report.plan_description = plan.ToString(q);
+
+  dist::Cluster cluster(options.cluster);
+
+  // Pre-compute the chosen bags and register them in an execution
+  // catalog (bag relations + the base relations the rewritten query
+  // still references).
+  exec::RewrittenQuery rewritten =
+      exec::RewriteWithBags(q, plan.decomp, plan.precompute);
+  storage::Catalog exec_db;
+  for (const query::Atom& atom : rewritten.query.atoms()) {
+    if (exec_db.Contains(atom.relation) ||
+        atom.relation.rfind("__bag", 0) == 0) {
+      continue;
+    }
+    StatusOr<const storage::Relation*> base = db_->Get(atom.relation);
+    if (!base.ok()) return base.status();
+    exec_db.Put(atom.relation, **base);  // copy; datasets are small
+  }
+  for (const auto& [name, bag_index] : rewritten.bag_atoms) {
+    StatusOr<exec::PrecomputeResult> bag = exec::MaterializeBag(
+        q, *db_, plan.decomp.bags[size_t(bag_index)], &cluster,
+        options.limits);
+    if (!bag.ok()) {
+      report.status = bag.status();
+      return report;
+    }
+    report.precompute_s += bag->comm_s + bag->comp_s +
+                           options.cluster.net.stage_overhead_s;
+    report.precompute_comm.Add(bag->comm);
+    exec_db.Put(name, std::move(bag->rel));
+  }
+
+  // Final one-round join of the rewritten query under the plan order.
+  exec::HCubeJParams params;
+  params.variant = options.hcube_variant;
+  params.limits = options.limits;
+  StatusOr<exec::HCubeJOutput> run = exec::RunHCubeJ(
+      rewritten.query, exec_db, plan.order, params, &cluster);
+  if (!run.ok()) {
+    report.status = run.status();
+    return report;
+  }
+  report.status = run->report.status;
+  report.output_count = run->report.output_count;
+  report.comm = run->report.comm;
+  report.comm_s = run->report.comm_s;
+  report.comp_s = run->report.comp_s;
+  report.overhead_s += run->report.overhead_s;
+  report.tuples_at_level = run->report.tuples_at_level;
+  report.extensions = run->report.extensions;
+  report.rounds = 1;
+  return report;
+}
+
+StatusOr<exec::RunReport> Engine::RunCommFirst(const query::Query& q,
+                                               const EngineOptions& options,
+                                               bool cached) {
+  WallTimer timer;
+  StatusOr<query::AttributeOrder> order = SelectCommFirstOrder(q);
+  if (!order.ok()) return order.status();
+  const double optimize_s = timer.Seconds();
+
+  dist::Cluster cluster(options.cluster);
+  exec::HCubeJParams params;
+  params.variant = options.hcube_variant;
+  params.limits = options.limits;
+  params.use_cache = cached;
+  StatusOr<exec::HCubeJOutput> run =
+      exec::RunHCubeJ(q, *db_, *order, params, &cluster);
+  if (!run.ok()) return run.status();
+  exec::RunReport report = std::move(run->report);
+  report.optimize_s = optimize_s;
+  report.plan_description =
+      "ord=" + query::OrderToString(*order, q) +
+      " p=" + run->share_used.ToString();
+  return report;
+}
+
+StatusOr<exec::RunReport> Engine::Run(const query::Query& q, Strategy s,
+                                      const EngineOptions& options) {
+  switch (s) {
+    case Strategy::kCoOpt:
+      return RunCoOpt(q, options);
+    case Strategy::kCommFirst:
+      return RunCommFirst(q, options, /*cached=*/false);
+    case Strategy::kCachedCommFirst:
+      return RunCommFirst(q, options, /*cached=*/true);
+    case Strategy::kBinaryJoin: {
+      dist::Cluster cluster(options.cluster);
+      return exec::RunBinaryJoin(q, *db_, &cluster, options.limits);
+    }
+    case Strategy::kBigJoin: {
+      StatusOr<query::AttributeOrder> order = SelectCommFirstOrder(q);
+      if (!order.ok()) return order.status();
+      dist::Cluster cluster(options.cluster);
+      return exec::RunBigJoin(q, *db_, *order, &cluster, options.limits);
+    }
+  }
+  return Status::InvalidArgument("unknown strategy");
+}
+
+}  // namespace adj::core

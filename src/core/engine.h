@@ -1,0 +1,75 @@
+#ifndef ADJ_CORE_ENGINE_H_
+#define ADJ_CORE_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/options.h"
+#include "exec/run_report.h"
+#include "optimizer/adj_optimizer.h"
+#include "optimizer/query_plan.h"
+#include "query/attribute_order.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+
+namespace adj::core {
+
+/// ADJ's planning output plus the bookkeeping the evaluation section
+/// reports (Tables II–IV's Optimization column and Fig. 8's selected
+/// orders).
+struct PlanResult {
+  optimizer::QueryPlan plan;
+  double optimize_s = 0.0;      // sampling + plan search, wall clock
+  double sampling_comm_s = 0.0; // modeled reduced-database shuffle
+  double beta_raw = 0.0;        // measured during sampling
+  /// EXPLAIN-style rendering of the chosen plan (hypertree, traversal,
+  /// per-node estimates, order, predicted costs).
+  std::string explanation;
+};
+
+/// Public entry point of the library: run a natural-join query on a
+/// simulated cluster under one of the five strategies of the paper's
+/// evaluation, returning the paper-style cost breakdown.
+///
+/// Typical use:
+///   storage::Catalog db;
+///   db.Put("G", dataset::MakeBuiltin("LJ").value());
+///   query::Query q = *query::MakeBenchmarkQuery(5);
+///   Engine engine(&db);
+///   exec::RunReport r = *engine.Run(q, Strategy::kCoOpt, {});
+class Engine {
+ public:
+  explicit Engine(const storage::Catalog* db) : db_(db) {}
+
+  /// Executes `q` under strategy `s`. The returned report's `status`
+  /// carries per-run failures (memory/time), while the outer Status
+  /// carries setup errors (unknown relation, malformed query).
+  StatusOr<exec::RunReport> Run(const query::Query& q, Strategy s,
+                                const EngineOptions& options);
+
+  /// ADJ's planning stage only (GHD + sampling + Alg. 2) — used by
+  /// the optimizer-focused benches.
+  StatusOr<PlanResult> Plan(const query::Query& q,
+                            const EngineOptions& options);
+
+  /// The comm-first baseline's attribute-order selection: best
+  /// sketch-scored order among *all* n! orders ("All-Selected" in
+  /// Fig. 8).
+  StatusOr<query::AttributeOrder> SelectCommFirstOrder(
+      const query::Query& q) const;
+
+ private:
+  StatusOr<exec::RunReport> RunCoOpt(const query::Query& q,
+                                     const EngineOptions& options);
+  StatusOr<exec::RunReport> RunCommFirst(const query::Query& q,
+                                         const EngineOptions& options,
+                                         bool cached);
+
+  const storage::Catalog* db_;
+};
+
+}  // namespace adj::core
+
+#endif  // ADJ_CORE_ENGINE_H_

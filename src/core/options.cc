@@ -1,0 +1,21 @@
+#include "core/options.h"
+
+namespace adj::core {
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kCoOpt:
+      return "ADJ";
+    case Strategy::kCommFirst:
+      return "HCubeJ";
+    case Strategy::kCachedCommFirst:
+      return "HCubeJ+Cache";
+    case Strategy::kBinaryJoin:
+      return "SparkSQL";
+    case Strategy::kBigJoin:
+      return "BigJoin";
+  }
+  return "?";
+}
+
+}  // namespace adj::core

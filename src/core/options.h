@@ -1,0 +1,41 @@
+#ifndef ADJ_CORE_OPTIONS_H_
+#define ADJ_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "dist/cluster.h"
+#include "dist/hcube.h"
+#include "wcoj/leapfrog.h"
+
+namespace adj::core {
+
+/// The five execution strategies compared in the paper's evaluation.
+enum class Strategy {
+  kCoOpt,            // ADJ: co-optimized pre-computing + one-round join
+  kCommFirst,        // HCubeJ: communication-first one-round join
+  kCachedCommFirst,  // HCubeJ+Cache: comm-first with CacheTrieJoin
+  kBinaryJoin,       // SparkSQL: multi-round binary hash joins
+  kBigJoin,          // BigJoin: multi-round parallel WCOJ
+};
+
+const char* StrategyName(Strategy s);
+
+struct EngineOptions {
+  dist::ClusterConfig cluster;
+  dist::HCubeVariant hcube_variant = dist::HCubeVariant::kPull;
+  /// Sampling budget for the ADJ optimizer's cardinality estimation
+  /// (the paper uses 10^5 at full scale; defaults are scaled down with
+  /// the datasets).
+  uint64_t num_samples = 1000;
+  uint64_t seed = 42;
+  /// Failure emulation: extension budget ≈ memory overflow, seconds ≈
+  /// the paper's 12-hour timeout.
+  wcoj::JoinLimits limits;
+  /// Ablations / testing hooks.
+  bool use_exhaustive_planner = false;  // oracle plan search (Alg.2 off)
+  bool use_exact_estimates = false;     // NaiveJoin-backed cardinalities
+};
+
+}  // namespace adj::core
+
+#endif  // ADJ_CORE_OPTIONS_H_

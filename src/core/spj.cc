@@ -1,0 +1,209 @@
+#include "core/spj.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "exec/hcubej.h"
+
+namespace adj::core {
+namespace {
+
+std::vector<std::string> SplitTrim(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : text) {
+    if (c == sep) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  for (std::string& p : parts) {
+    while (!p.empty() && std::isspace(static_cast<unsigned char>(p.front()))) {
+      p.erase(p.begin());
+    }
+    while (!p.empty() && std::isspace(static_cast<unsigned char>(p.back()))) {
+      p.pop_back();
+    }
+  }
+  return parts;
+}
+
+}  // namespace
+
+std::string SpjQuery::ToString() const {
+  std::string out = join.ToString();
+  if (!selections.empty()) {
+    out += " WHERE ";
+    for (size_t i = 0; i < selections.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += join.attr_name(selections[i].attr) + "=" +
+             std::to_string(selections[i].value);
+    }
+  }
+  if (projection != 0) {
+    out += " PROJECT ";
+    bool first = true;
+    for (int a = 0; a < join.num_attrs(); ++a) {
+      if (projection & (AttrMask(1) << a)) {
+        if (!first) out += ",";
+        out += join.attr_name(a);
+        first = false;
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<SpjQuery> ParseSpj(const std::string& text) {
+  // "join | selections | projection" — both trailing sections optional.
+  std::vector<std::string> sections = SplitTrim(text, '|');
+  if (sections.empty() || sections.size() > 3) {
+    return Status::InvalidArgument("expected 'join [| sel [| proj]]'");
+  }
+  SpjQuery spj;
+  StatusOr<query::Query> join = query::Query::Parse(sections[0]);
+  if (!join.ok()) return join.status();
+  spj.join = std::move(join.value());
+
+  if (sections.size() >= 2 && !sections[1].empty()) {
+    for (const std::string& item : SplitTrim(sections[1], ',')) {
+      if (item.empty()) continue;
+      const size_t eq = item.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("selection must be attr=value: " +
+                                       item);
+      }
+      std::string name = item.substr(0, eq);
+      while (!name.empty() && std::isspace(static_cast<unsigned char>(
+                                  name.back()))) {
+        name.pop_back();
+      }
+      StatusOr<AttrId> attr = spj.join.AttrByName(name);
+      if (!attr.ok()) return attr.status();
+      char* end = nullptr;
+      const unsigned long long v =
+          std::strtoull(item.c_str() + eq + 1, &end, 10);
+      if (end == item.c_str() + eq + 1) {
+        return Status::InvalidArgument("bad selection constant in: " + item);
+      }
+      spj.selections.push_back({*attr, static_cast<Value>(v)});
+    }
+  }
+  if (sections.size() == 3 && !sections[2].empty()) {
+    for (const std::string& name : SplitTrim(sections[2], ',')) {
+      if (name.empty()) continue;
+      StatusOr<AttrId> attr = spj.join.AttrByName(name);
+      if (!attr.ok()) return attr.status();
+      spj.projection |= (AttrMask(1) << *attr);
+    }
+  }
+  return spj;
+}
+
+StatusOr<PushedDown> PushDownSelections(const storage::Catalog& db,
+                                         const SpjQuery& spj) {
+  PushedDown out;
+  std::vector<query::Atom> new_atoms;
+  for (int i = 0; i < spj.join.num_atoms(); ++i) {
+    const query::Atom& atom = spj.join.atom(i);
+    StatusOr<const storage::Relation*> base = db.Get(atom.relation);
+    if (!base.ok()) return base.status();
+    // Which selections touch this atom?
+    std::vector<std::pair<int, Value>> filters;  // column, value
+    for (const SpjQuery::Selection& sel : spj.selections) {
+      const int pos = atom.schema.PositionOf(sel.attr);
+      if (pos >= 0) filters.emplace_back(pos, sel.value);
+    }
+    if (filters.empty()) {
+      if (!out.catalog.Contains(atom.relation)) {
+        out.catalog.Put(atom.relation, **base);
+      }
+      new_atoms.push_back(atom);
+      continue;
+    }
+    storage::Relation filtered(storage::Schema((*base)->schema()));
+    for (uint64_t r = 0; r < (*base)->size(); ++r) {
+      bool keep = true;
+      for (const auto& [pos, value] : filters) {
+        if ((*base)->At(r, pos) != value) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) filtered.Append((*base)->Row(r));
+    }
+    out.filtered += (*base)->size() - filtered.size();
+    const std::string name = atom.relation + "__sel" + std::to_string(i);
+    out.catalog.Put(name, std::move(filtered));
+    query::Atom new_atom = atom;
+    new_atom.relation = name;
+    new_atoms.push_back(new_atom);
+  }
+  out.query = query::Query::Make(spj.join.attr_names(), new_atoms);
+  return out;
+}
+
+StatusOr<SpjResult> RunSpj(const storage::Catalog& db, const SpjQuery& spj,
+                           Strategy strategy, const EngineOptions& options) {
+  // 1. Selection push-down shrinks shuffle volume, sampling domain,
+  //    and the join itself before any planning happens.
+  StatusOr<PushedDown> pushed = PushDownSelections(db, spj);
+  if (!pushed.ok()) return pushed.status();
+  const query::Query& rewritten = pushed->query;
+  const storage::Catalog& reduced = pushed->catalog;
+
+  // 2. Run the join; when no (proper) projection is requested the
+  //    engine's counting path suffices.
+  SpjResult result;
+  result.pushed_down_filtered = pushed->filtered;
+  Engine engine(&reduced);
+  if (spj.projection == 0 || spj.projection == rewritten.AllAttrs()) {
+    StatusOr<exec::RunReport> report =
+        engine.Run(rewritten, strategy, options);
+    if (!report.ok()) return report.status();
+    result.report = std::move(report.value());
+    result.projected_count = result.report.output_count;
+    return result;
+  }
+
+  // 3. Projection with DISTINCT: collect, project, dedupe. The join
+  //    itself still uses the one-round machinery.
+  query::AttributeOrder order;
+  for (int a = 0; a < rewritten.num_attrs(); ++a) order.push_back(a);
+  dist::Cluster cluster(options.cluster);
+  exec::HCubeJParams params;
+  params.variant = options.hcube_variant;
+  params.limits = options.limits;
+  params.collect_output = true;
+  StatusOr<exec::HCubeJOutput> run =
+      exec::RunHCubeJ(rewritten, reduced, order, params, &cluster);
+  if (!run.ok()) return run.status();
+  result.report = run->report;
+  if (!result.report.ok()) return result;
+
+  std::vector<int> cols;
+  std::vector<AttrId> kept;
+  for (int a = 0; a < rewritten.num_attrs(); ++a) {
+    if (spj.projection & (AttrMask(1) << a)) {
+      cols.push_back(run->results.schema().PositionOf(a));
+      kept.push_back(a);
+    }
+  }
+  storage::Relation projected((storage::Schema(kept)));
+  std::vector<Value> tuple(cols.size());
+  for (uint64_t r = 0; r < run->results.size(); ++r) {
+    for (size_t c = 0; c < cols.size(); ++c) {
+      tuple[c] = run->results.At(r, cols[size_t(c)]);
+    }
+    projected.Append(tuple);
+  }
+  projected.SortAndDedup();
+  result.projected_count = projected.size();
+  return result;
+}
+
+}  // namespace adj::core

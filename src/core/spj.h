@@ -1,0 +1,66 @@
+#ifndef ADJ_CORE_SPJ_H_
+#define ADJ_CORE_SPJ_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+
+namespace adj::core {
+
+/// Select-Project-Join queries — the extension the paper's conclusion
+/// names as future work ("co-optimize computation, pre-computing, and
+/// communication for a query that consists of selection, projection,
+/// and join").
+///
+/// A SpjQuery is a natural-join body plus equality selections
+/// (attr = constant) and an optional projection of the output onto a
+/// subset of attributes (with set semantics, i.e. DISTINCT).
+struct SpjQuery {
+  query::Query join;
+  struct Selection {
+    AttrId attr;
+    Value value;
+  };
+  std::vector<Selection> selections;
+  /// Attributes kept in the output; 0 means all of attrs(Q).
+  AttrMask projection = 0;
+
+  std::string ToString() const;
+};
+
+/// Parses "R(a,b) S(b,c) | a=5, c=7 | a,b" — join body, optional
+/// '|'-separated selection list, optional projection list.
+StatusOr<SpjQuery> ParseSpj(const std::string& text);
+
+struct SpjResult {
+  exec::RunReport report;        // the join execution report
+  uint64_t projected_count = 0;  // distinct projected tuples
+  /// Tuples removed per atom by selection push-down.
+  uint64_t pushed_down_filtered = 0;
+};
+
+/// Executes an SPJ query: equality selections are pushed down into the
+/// base relations before planning (shrinking both the shuffle volume
+/// and the sampling domain), the join runs under `strategy`, and the
+/// projection is applied with duplicate elimination at the end.
+StatusOr<SpjResult> RunSpj(const storage::Catalog& db, const SpjQuery& spj,
+                           Strategy strategy, const EngineOptions& options);
+
+/// Selection push-down alone (exposed for tests and for users who
+/// want to plan on the reduced database): every atom touched by a
+/// selection gets a filtered copy of its base relation under a derived
+/// name, and the join is rewritten to reference it.
+struct PushedDown {
+  storage::Catalog catalog;
+  query::Query query;
+  uint64_t filtered = 0;  // tuples removed across all filtered atoms
+};
+StatusOr<PushedDown> PushDownSelections(const storage::Catalog& db,
+                                        const SpjQuery& spj);
+
+}  // namespace adj::core
+
+#endif  // ADJ_CORE_SPJ_H_

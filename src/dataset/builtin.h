@@ -1,0 +1,38 @@
+#ifndef ADJ_DATASET_BUILTIN_H_
+#define ADJ_DATASET_BUILTIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace adj::dataset {
+
+/// Laptop-scale synthetic stand-ins for the paper's six SNAP datasets
+/// (Table I). Relative size ordering WB < AS < WT < LJ < EN < OK and
+/// the heavy-tailed skew are preserved (see DESIGN.md, substitutions).
+struct BuiltinSpec {
+  std::string name;         // "WB", "AS", "WT", "LJ", "EN", "OK"
+  std::string description;  // what it stands in for
+  uint64_t paper_tuples;    // |R| in the paper, in millions x 10^6
+  uint64_t target_edges;    // edges at scale = 1.0 here
+  int rmat_scale;           // 2^scale nodes
+};
+
+/// Specs for all six builtin datasets, in paper order.
+const std::vector<BuiltinSpec>& BuiltinSpecs();
+
+/// Generates the named dataset. `scale` multiplies the edge budget
+/// (tests use small scales; benches default to 1.0). The result is a
+/// sorted, deduplicated edge relation with schema (0, 1).
+StatusOr<storage::Relation> MakeBuiltin(const std::string& name,
+                                        double scale = 1.0);
+
+/// Table I row for a generated dataset: name, tuples, payload MB.
+std::string DescribeDataset(const std::string& name,
+                            const storage::Relation& rel);
+
+}  // namespace adj::dataset
+
+#endif  // ADJ_DATASET_BUILTIN_H_

@@ -1,0 +1,114 @@
+#include "dataset/generators.h"
+
+#include "common/logging.h"
+
+namespace adj::dataset {
+namespace {
+
+storage::Schema EdgeSchema() { return storage::Schema({0, 1}); }
+
+}  // namespace
+
+storage::Relation ErdosRenyi(uint64_t num_nodes, uint64_t num_edges,
+                             Rng& rng) {
+  ADJ_CHECK(num_nodes >= 2);
+  storage::Relation rel(EdgeSchema());
+  rel.Reserve(num_edges);
+  uint64_t produced = 0;
+  while (produced < num_edges) {
+    Value u = static_cast<Value>(rng.Uniform(num_nodes));
+    Value v = static_cast<Value>(rng.Uniform(num_nodes));
+    if (u == v) continue;
+    rel.Append({u, v});
+    ++produced;
+  }
+  rel.SortAndDedup();
+  return rel;
+}
+
+storage::Relation Rmat(const RmatParams& params, uint64_t num_edges,
+                       Rng& rng) {
+  ADJ_CHECK(params.scale >= 1 && params.scale < 31);
+  const double ab = params.a + params.b;
+  const double abc = params.a + params.b + params.c;
+  storage::Relation rel(EdgeSchema());
+  rel.Reserve(num_edges);
+  for (uint64_t e = 0; e < num_edges; ++e) {
+    uint32_t u = 0, v = 0;
+    for (int depth = 0; depth < params.scale; ++depth) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < params.a) {
+        // top-left quadrant: no bits set
+      } else if (r < ab) {
+        v |= 1;
+      } else if (r < abc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;  // drop self loops; slightly fewer edges is fine
+    rel.Append({u, v});
+  }
+  rel.SortAndDedup();
+  return rel;
+}
+
+storage::Relation ZipfGraph(uint64_t num_nodes, uint64_t num_edges,
+                            double theta, Rng& rng) {
+  ZipfSampler zipf(num_nodes, theta);
+  storage::Relation rel(EdgeSchema());
+  rel.Reserve(num_edges);
+  uint64_t produced = 0;
+  while (produced < num_edges) {
+    Value u = static_cast<Value>(zipf.Sample(rng));
+    Value v = static_cast<Value>(zipf.Sample(rng));
+    if (u == v) continue;
+    rel.Append({u, v});
+    ++produced;
+  }
+  rel.SortAndDedup();
+  return rel;
+}
+
+storage::Relation CompleteGraph(uint32_t n) {
+  storage::Relation rel(EdgeSchema());
+  rel.Reserve(uint64_t(n) * (n - 1));
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = 0; v < n; ++v) {
+      if (u != v) rel.Append({u, v});
+    }
+  }
+  // Already lexicographically sorted by construction.
+  return rel;
+}
+
+storage::Relation CycleGraph(uint32_t n) {
+  storage::Relation rel(EdgeSchema());
+  for (uint32_t u = 0; u < n; ++u) rel.Append({u, (u + 1) % n});
+  rel.SortAndDedup();
+  return rel;
+}
+
+storage::Relation PathGraph(uint32_t n) {
+  storage::Relation rel(EdgeSchema());
+  for (uint32_t u = 0; u + 1 < n; ++u) rel.Append({u, u + 1});
+  return rel;
+}
+
+storage::Relation Symmetrize(const storage::Relation& edges) {
+  storage::Relation rel(edges.schema());
+  rel.Reserve(edges.size() * 2);
+  for (uint64_t r = 0; r < edges.size(); ++r) {
+    Value u = edges.At(r, 0), v = edges.At(r, 1);
+    rel.Append({u, v});
+    rel.Append({v, u});
+  }
+  rel.SortAndDedup();
+  return rel;
+}
+
+}  // namespace adj::dataset

@@ -1,0 +1,55 @@
+#ifndef ADJ_DATASET_GENERATORS_H_
+#define ADJ_DATASET_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "storage/relation.h"
+
+namespace adj::dataset {
+
+/// All generators produce a binary edge relation R(src, dst) with
+/// schema attribute ids {0, 1}, no self loops, sorted and deduplicated.
+/// Query atoms later rebind the columns to their own attributes.
+
+/// Erdős–Rényi-style: `num_edges` uniform random edges over
+/// `num_nodes` nodes.
+storage::Relation ErdosRenyi(uint64_t num_nodes, uint64_t num_edges,
+                             Rng& rng);
+
+/// RMAT (Chakrabarti et al.): recursive quadrant sampling over a
+/// 2^scale x 2^scale adjacency matrix. The default quadrant weights
+/// (0.57, 0.19, 0.19, 0.05) give the heavy-tailed degree skew of real
+/// web/social graphs — the property that makes the paper's cyclic
+/// queries computationally hard.
+struct RmatParams {
+  int scale = 14;  // 2^scale nodes
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  // d = 1 - a - b - c
+};
+storage::Relation Rmat(const RmatParams& params, uint64_t num_edges, Rng& rng);
+
+/// Zipf-skewed bipartite-style edges: both endpoints drawn from a
+/// Zipf(theta) distribution over `num_nodes`; used by property tests
+/// that sweep skew.
+storage::Relation ZipfGraph(uint64_t num_nodes, uint64_t num_edges,
+                            double theta, Rng& rng);
+
+/// Deterministic complete graph on n nodes (both edge directions),
+/// handy for tests with known join cardinalities.
+storage::Relation CompleteGraph(uint32_t n);
+
+/// Deterministic directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+storage::Relation CycleGraph(uint32_t n);
+
+/// Deterministic path graph 0 -> 1 -> ... -> n-1.
+storage::Relation PathGraph(uint32_t n);
+
+/// Adds the reverse of every edge (makes the relation symmetric).
+storage::Relation Symmetrize(const storage::Relation& edges);
+
+}  // namespace adj::dataset
+
+#endif  // ADJ_DATASET_GENERATORS_H_

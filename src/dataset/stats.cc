@@ -1,0 +1,92 @@
+#include "dataset/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace adj::dataset {
+
+std::string GraphStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "edges=%llu nodes=%llu avg_deg=%.2f max_out=%llu "
+                "max_in=%llu top1%%share=%.3f skew=%.2f",
+                static_cast<unsigned long long>(num_edges),
+                static_cast<unsigned long long>(num_nodes), avg_out_degree,
+                static_cast<unsigned long long>(max_out_degree),
+                static_cast<unsigned long long>(max_in_degree),
+                top1pct_out_share, fitted_skew);
+  return buf;
+}
+
+GraphStats ComputeGraphStats(const storage::Relation& edges) {
+  ADJ_CHECK(edges.arity() == 2) << "graph stats require an edge relation";
+  GraphStats stats;
+  stats.num_edges = edges.size();
+  if (edges.empty()) return stats;
+
+  std::unordered_map<Value, uint64_t> out_deg, in_deg;
+  for (uint64_t r = 0; r < edges.size(); ++r) {
+    ++out_deg[edges.At(r, 0)];
+    ++in_deg[edges.At(r, 1)];
+  }
+  std::unordered_map<Value, char> nodes;
+  for (const auto& [v, d] : out_deg) nodes.emplace(v, 0);
+  for (const auto& [v, d] : in_deg) nodes.emplace(v, 0);
+  stats.num_nodes = nodes.size();
+
+  std::vector<uint64_t> degs;
+  degs.reserve(out_deg.size());
+  for (const auto& [v, d] : out_deg) {
+    degs.push_back(d);
+    stats.max_out_degree = std::max(stats.max_out_degree, d);
+  }
+  for (const auto& [v, d] : in_deg) {
+    stats.max_in_degree = std::max(stats.max_in_degree, d);
+  }
+  stats.avg_out_degree = double(edges.size()) / double(stats.num_nodes);
+
+  std::sort(degs.rbegin(), degs.rend());
+  const size_t top = std::max<size_t>(1, stats.num_nodes / 100);
+  uint64_t top_edges = 0;
+  for (size_t i = 0; i < top && i < degs.size(); ++i) top_edges += degs[i];
+  stats.top1pct_out_share = double(top_edges) / double(edges.size());
+
+  // Log-log regression of rank vs degree over the head — a rough Zipf
+  // exponent; enough to compare generator skew settings.
+  const size_t head = std::min<size_t>(degs.size(), 100);
+  if (head >= 2) {
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (size_t i = 0; i < head; ++i) {
+      const double x = std::log(double(i + 1));
+      const double y = std::log(double(std::max<uint64_t>(degs[i], 1)));
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      sxy += x * y;
+    }
+    const double n = double(head);
+    const double denom = n * sxx - sx * sx;
+    if (std::fabs(denom) > 1e-12) {
+      stats.fitted_skew = -(n * sxy - sx * sy) / denom;
+    }
+  }
+  return stats;
+}
+
+std::vector<uint64_t> OutDegreeHistogram(const storage::Relation& edges,
+                                         uint64_t max_degree) {
+  ADJ_CHECK(edges.arity() == 2);
+  std::unordered_map<Value, uint64_t> out_deg;
+  for (uint64_t r = 0; r < edges.size(); ++r) ++out_deg[edges.At(r, 0)];
+  std::vector<uint64_t> hist(max_degree + 1, 0);
+  for (const auto& [v, d] : out_deg) {
+    ++hist[std::min<uint64_t>(d, max_degree)];
+  }
+  return hist;
+}
+
+}  // namespace adj::dataset

@@ -1,0 +1,44 @@
+#ifndef ADJ_DATASET_STATS_H_
+#define ADJ_DATASET_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace adj::dataset {
+
+/// Structural statistics of an edge relation — the properties
+/// (heavy-tailed degrees, skew) that make the paper's cyclic queries
+/// computationally hard and that drive the Q5 straggler effect in
+/// Fig. 11.
+struct GraphStats {
+  uint64_t num_edges = 0;
+  uint64_t num_nodes = 0;          // distinct endpoints
+  uint64_t max_out_degree = 0;
+  uint64_t max_in_degree = 0;
+  double avg_out_degree = 0.0;
+  /// Share of edges carried by the 1% highest-out-degree nodes — a
+  /// simple skew indicator (0.01 for uniform graphs, near 1 for
+  /// extreme skew).
+  double top1pct_out_share = 0.0;
+  /// Zipf-like skew exponent fitted from the head of the out-degree
+  /// distribution (log-log regression over the top 100 degrees).
+  double fitted_skew = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes stats for a binary edge relation.
+GraphStats ComputeGraphStats(const storage::Relation& edges);
+
+/// Out-degree histogram: result[d] = number of nodes with out-degree
+/// d (dense up to `max_degree`, larger degrees clamped into the last
+/// bucket).
+std::vector<uint64_t> OutDegreeHistogram(const storage::Relation& edges,
+                                         uint64_t max_degree = 64);
+
+}  // namespace adj::dataset
+
+#endif  // ADJ_DATASET_STATS_H_

@@ -1,0 +1,31 @@
+#ifndef ADJ_EXEC_BIGJOIN_H_
+#define ADJ_EXEC_BIGJOIN_H_
+
+#include "common/status.h"
+#include "dist/cluster.h"
+#include "exec/run_report.h"
+#include "query/attribute_order.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "wcoj/leapfrog.h"
+
+namespace adj::exec {
+
+/// BigJoin-style baseline (Ammar et al., PVLDB'18): a multi-round
+/// *worst-case optimal* dataflow. The attribute order is processed
+/// level by level; each round the full set of partial bindings is
+/// shuffled to the index shards of every relation containing the next
+/// attribute, intersected, and the extended bindings are materialized
+/// for the next round. Computation is WCOJ (few intermediate tuples,
+/// beats SparkSQL), but every level re-shuffles all partial bindings —
+/// which explodes on cyclic queries, matching Fig. 12 where BigJoin
+/// only finishes Q1/Q2.
+StatusOr<RunReport> RunBigJoin(const query::Query& q,
+                               const storage::Catalog& db,
+                               const query::AttributeOrder& order,
+                               dist::Cluster* cluster,
+                               const wcoj::JoinLimits& limits = {});
+
+}  // namespace adj::exec
+
+#endif  // ADJ_EXEC_BIGJOIN_H_

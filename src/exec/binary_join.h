@@ -1,0 +1,30 @@
+#ifndef ADJ_EXEC_BINARY_JOIN_H_
+#define ADJ_EXEC_BINARY_JOIN_H_
+
+#include "common/status.h"
+#include "dist/cluster.h"
+#include "exec/run_report.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "wcoj/leapfrog.h"
+
+namespace adj::exec {
+
+/// SparkSQL-style baseline: the query is decomposed into a greedy
+/// (smallest-first, connected) sequence of binary hash joins; every
+/// round repartitions both sides on the join key and materializes the
+/// full intermediate result. Communication is charged per round for
+/// both inputs — the "expensive shuffling of intermediate results" the
+/// one-round methods avoid.
+///
+/// Fails with ResourceExhausted when an intermediate exceeds
+/// `limits.max_extensions` rows (the paper's memory-overflow failure
+/// mode) or DeadlineExceeded past `limits.max_seconds`.
+StatusOr<RunReport> RunBinaryJoin(const query::Query& q,
+                                  const storage::Catalog& db,
+                                  dist::Cluster* cluster,
+                                  const wcoj::JoinLimits& limits = {});
+
+}  // namespace adj::exec
+
+#endif  // ADJ_EXEC_BINARY_JOIN_H_

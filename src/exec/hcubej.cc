@@ -1,0 +1,178 @@
+#include "exec/hcubej.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/timer.h"
+#include "dist/thread_pool.h"
+#include "optimizer/share_optimizer.h"
+
+namespace adj::exec {
+
+StatusOr<std::vector<BoundAtom>> BindAtomsForOrder(
+    const query::Query& q, const storage::Catalog& db,
+    const query::AttributeOrder& order) {
+  const std::vector<int> rank = query::RankOf(order, q.num_attrs());
+  std::vector<BoundAtom> bound;
+  bound.reserve(q.num_atoms());
+  for (const query::Atom& atom : q.atoms()) {
+    StatusOr<const storage::Relation*> base = db.Get(atom.relation);
+    if (!base.ok()) return base.status();
+    if ((*base)->arity() != atom.schema.arity()) {
+      return Status::InvalidArgument("atom arity mismatch for relation " +
+                                     atom.relation);
+    }
+    for (AttrId a : atom.schema.attrs()) {
+      if (a >= q.num_attrs() || rank[a] < 0) {
+        return Status::InvalidArgument(
+            "attribute order does not cover all query attributes");
+      }
+    }
+    std::vector<int> perm;
+    storage::Schema sorted = atom.schema.SortedBy(rank, &perm);
+    BoundAtom b;
+    b.rel = (*base)->PermuteColumns(sorted, perm);
+    b.rel.SortAndDedup();
+    b.attrs = sorted.attrs();
+    bound.push_back(std::move(b));
+  }
+  return bound;
+}
+
+StatusOr<HCubeJOutput> RunHCubeJ(const query::Query& q,
+                                 const storage::Catalog& db,
+                                 const query::AttributeOrder& order,
+                                 const HCubeJParams& params,
+                                 dist::Cluster* cluster) {
+  HCubeJOutput out;
+  out.report.method = params.use_cache ? "HCubeJ+Cache" : "HCubeJ";
+  out.report.rounds = 1;
+
+  StatusOr<std::vector<BoundAtom>> bound = BindAtomsForOrder(q, db, order);
+  if (!bound.ok()) return bound.status();
+
+  // Shares: use the provided vector or solve Eq. (3).
+  dist::ShareVector share = params.share;
+  if (share.p.empty()) {
+    std::vector<optimizer::ShareInput> inputs;
+    for (size_t i = 0; i < bound->size(); ++i) {
+      optimizer::ShareInput in;
+      in.schema = q.atom(int(i)).schema.Mask();
+      in.tuples = (*bound)[i].rel.size();
+      in.bytes = (*bound)[i].rel.SizeBytes();
+      inputs.push_back(in);
+    }
+    StatusOr<dist::ShareVector> opt =
+        optimizer::OptimizeShares(inputs, q.num_attrs(), cluster->config());
+    if (!opt.ok()) return opt.status();
+    share = std::move(opt.value());
+  }
+  out.share_used = share;
+
+  // One-round shuffle.
+  std::vector<dist::HCubeInput> hinputs;
+  hinputs.reserve(bound->size());
+  for (const BoundAtom& b : *bound) {
+    hinputs.push_back(dist::HCubeInput{&b.rel, b.attrs});
+  }
+  StatusOr<dist::HCubeResult> shuffle =
+      dist::HCubeShuffle(hinputs, share, params.variant, cluster);
+  if (!shuffle.ok()) {
+    out.report.status = shuffle.status();
+    return out;
+  }
+  out.report.comm = shuffle->comm;
+  out.report.comm_s = shuffle->comm.seconds;
+  // Local index construction is computation (Fig. 9's right panel).
+  out.report.comp_s += shuffle->build_seconds_max;
+  out.report.overhead_s = cluster->config().net.stage_overhead_s;
+
+  // Per-server Leapfrog. Servers are timed individually so comp_s is
+  // the parallel makespan; with worker_threads > 1 they also *run*
+  // concurrently (each writing its own slot, merged in server order).
+  const bool collect = params.collect_output;
+  if (collect) {
+    out.results = storage::Relation(storage::Schema(
+        std::vector<AttrId>(order.begin(), order.end())));
+  }
+  struct ServerResult {
+    Status status;
+    uint64_t count = 0;
+    wcoj::JoinStats stats;
+    storage::Relation results;
+    bool ran = false;
+  };
+  std::vector<ServerResult> per_server(cluster->num_servers());
+  std::vector<std::function<void()>> tasks;
+  for (int s = 0; s < cluster->num_servers(); ++s) {
+    tasks.push_back([&, s]() {
+      ServerResult& slot = per_server[size_t(s)];
+      const dist::LocalShard& shard = cluster->shard(s);
+      std::vector<wcoj::JoinInput> inputs;
+      bool any_empty = false;
+      for (size_t a = 0; a < shard.tries.size(); ++a) {
+        if (shard.tries[a].empty()) any_empty = true;
+        inputs.push_back(wcoj::JoinInput{&shard.tries[a], shard.attrs[a]});
+      }
+      if (any_empty) return;  // this hypercube produces nothing
+      slot.ran = true;
+      wcoj::EmitFn emit_fn;
+      if (collect) {
+        slot.results = storage::Relation(storage::Schema(
+            std::vector<AttrId>(order.begin(), order.end())));
+        emit_fn = [&slot](std::span<const Value> tuple) {
+          slot.results.Append(tuple);
+        };
+      }
+      StatusOr<uint64_t> count = [&]() -> StatusOr<uint64_t> {
+        if (params.use_cache) {
+          // Cache capacity = memory HCube storage left unused, split
+          // into cached values (vals + idxs at sizeof(Value) each).
+          const uint64_t mem = cluster->config().memory_per_server_bytes;
+          const uint64_t free_bytes =
+              shard.resident_bytes >= mem ? 0 : mem - shard.resident_bytes;
+          wcoj::IntersectionCache cache(free_bytes / sizeof(Value));
+          return wcoj::LeapfrogJoin(inputs, order,
+                                    collect ? &emit_fn : nullptr,
+                                    &slot.stats, params.limits, {}, &cache);
+        }
+        return wcoj::LeapfrogJoin(inputs, order,
+                                  collect ? &emit_fn : nullptr, &slot.stats,
+                                  params.limits);
+      }();
+      if (!count.ok()) {
+        slot.status = count.status();
+        return;
+      }
+      slot.count = *count;
+    });
+  }
+  dist::RunTasks(params.worker_threads, tasks);
+
+  double max_join_s = 0.0;
+  wcoj::JoinStats all_stats;
+  uint64_t total = 0;
+  for (int s = 0; s < cluster->num_servers(); ++s) {
+    ServerResult& slot = per_server[size_t(s)];
+    if (!slot.ran) continue;
+    if (!slot.status.ok()) {
+      out.report.status = slot.status;
+      return out;
+    }
+    total += slot.count;
+    max_join_s = std::max(max_join_s, slot.stats.seconds);
+    all_stats.Merge(slot.stats);
+    if (collect) {
+      for (uint64_t r = 0; r < slot.results.size(); ++r) {
+        out.results.Append(slot.results.Row(r));
+      }
+    }
+  }
+  out.report.comp_s += max_join_s;
+  out.report.output_count = total;
+  out.report.tuples_at_level = all_stats.tuples_at_level;
+  out.report.extensions = all_stats.extensions;
+  return out;
+}
+
+}  // namespace adj::exec

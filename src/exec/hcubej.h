@@ -1,0 +1,69 @@
+#ifndef ADJ_EXEC_HCUBEJ_H_
+#define ADJ_EXEC_HCUBEJ_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/cluster.h"
+#include "dist/hcube.h"
+#include "exec/run_report.h"
+#include "query/attribute_order.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "wcoj/leapfrog.h"
+
+namespace adj::exec {
+
+/// A query atom bound to its base relation and re-columned for a
+/// specific attribute order: columns ascend by order rank and the
+/// rows are sorted/deduplicated — ready for HCube and trie building.
+struct BoundAtom {
+  storage::Relation rel;
+  std::vector<AttrId> attrs;
+};
+
+/// Binds every atom of `q` against `db` and permutes it for `order`.
+StatusOr<std::vector<BoundAtom>> BindAtomsForOrder(
+    const query::Query& q, const storage::Catalog& db,
+    const query::AttributeOrder& order);
+
+struct HCubeJParams {
+  /// Share vector; leave empty to have the optimal shares computed
+  /// from the bound relation sizes (Eq. 3).
+  dist::ShareVector share;
+  dist::HCubeVariant variant = dist::HCubeVariant::kPull;
+  wcoj::JoinLimits limits;
+  /// When true, runs the HCubeJ+Cache baseline: each server memoizes
+  /// intersections in whatever memory HCube storage left free.
+  bool use_cache = false;
+  /// When true, result tuples are gathered into `HCubeJOutput::results`
+  /// (used by pre-computation); otherwise results are only counted.
+  bool collect_output = false;
+  /// Host threads used to run the simulated servers concurrently.
+  /// 1 (default) runs them sequentially — the right setting for cost
+  /// measurements (per-server timings stay undistorted).
+  int worker_threads = 1;
+};
+
+struct HCubeJOutput {
+  RunReport report;
+  /// Result tuples (schema = attributes in `order` sequence); filled
+  /// only when params.collect_output.
+  storage::Relation results;
+  dist::ShareVector share_used;
+};
+
+/// One-round multi-way join (HCubeJ, Sec. II-A): HCube-shuffle all
+/// atoms, then run Leapfrog on every server. The paper's
+/// communication-first baseline and the execution backend of ADJ's
+/// final query.
+StatusOr<HCubeJOutput> RunHCubeJ(const query::Query& q,
+                                 const storage::Catalog& db,
+                                 const query::AttributeOrder& order,
+                                 const HCubeJParams& params,
+                                 dist::Cluster* cluster);
+
+}  // namespace adj::exec
+
+#endif  // ADJ_EXEC_HCUBEJ_H_

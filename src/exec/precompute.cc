@@ -1,0 +1,81 @@
+#include "exec/precompute.h"
+
+#include <algorithm>
+
+#include "exec/hcubej.h"
+
+namespace adj::exec {
+namespace {
+
+/// Sub-query containing only the atoms of `bag`, over the same
+/// attribute universe as `q`.
+query::Query BagSubQuery(const query::Query& q, const ghd::Bag& bag) {
+  std::vector<query::Atom> atoms;
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    if (bag.atoms & (AtomMask(1) << i)) atoms.push_back(q.atom(i));
+  }
+  return query::Query::Make(q.attr_names(), std::move(atoms));
+}
+
+}  // namespace
+
+StatusOr<PrecomputeResult> MaterializeBag(const query::Query& q,
+                                          const storage::Catalog& db,
+                                          const ghd::Bag& bag,
+                                          dist::Cluster* cluster,
+                                          const wcoj::JoinLimits& limits) {
+  query::Query sub = BagSubQuery(q, bag);
+  // Join the bag under ascending attribute-id order (bags are small,
+  // cheap joins; a finer order choice would not change the costs the
+  // paper's model attributes to pre-computing).
+  query::AttributeOrder order;
+  for (int a = 0; a < q.num_attrs(); ++a) {
+    if (bag.attrs & (AttrMask(1) << a)) order.push_back(a);
+  }
+  HCubeJParams params;
+  params.limits = limits;
+  params.collect_output = true;
+  StatusOr<HCubeJOutput> run = RunHCubeJ(sub, db, order, params, cluster);
+  if (!run.ok()) return run.status();
+  if (!run->report.ok()) return run->report.status;
+
+  PrecomputeResult result;
+  // The one-round sub-join assigns each output tuple to exactly one
+  // server, so the gathered relation is duplicate-free; sort it into
+  // canonical form. Output schema = `order` = ascending ids already.
+  result.rel = std::move(run->results);
+  result.rel.SortAndDedup();
+  result.comm_s = run->report.comm_s;
+  result.comp_s = run->report.comp_s;
+  result.comm = run->report.comm;
+  return result;
+}
+
+RewrittenQuery RewriteWithBags(const query::Query& q,
+                               const ghd::Decomposition& decomp,
+                               const std::vector<bool>& precompute) {
+  RewrittenQuery out;
+  std::vector<query::Atom> atoms;
+  AtomMask covered = 0;
+  for (int v = 0; v < decomp.num_bags(); ++v) {
+    if (!precompute[v]) continue;
+    const ghd::Bag& bag = decomp.bags[v];
+    covered |= bag.atoms;
+    query::Atom atom;
+    atom.relation = "__bag" + std::to_string(v);
+    std::vector<AttrId> attrs;
+    for (int a = 0; a < q.num_attrs(); ++a) {
+      if (bag.attrs & (AttrMask(1) << a)) attrs.push_back(a);
+    }
+    atom.schema = storage::Schema(attrs);
+    atoms.push_back(atom);
+    out.bag_atoms.emplace_back("__bag" + std::to_string(v), v);
+  }
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    if ((covered & (AtomMask(1) << i)) == 0) atoms.push_back(q.atom(i));
+  }
+  out.query = query::Query::Make(q.attr_names(), std::move(atoms));
+  return out;
+}
+
+}  // namespace adj::exec

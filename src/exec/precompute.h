@@ -1,0 +1,50 @@
+#ifndef ADJ_EXEC_PRECOMPUTE_H_
+#define ADJ_EXEC_PRECOMPUTE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/cluster.h"
+#include "exec/run_report.h"
+#include "ghd/decomposition.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "wcoj/leapfrog.h"
+
+namespace adj::exec {
+
+/// Result of materializing one candidate relation R_v = join(λ(v)).
+struct PrecomputeResult {
+  storage::Relation rel;  // schema: bag attributes, ascending ids
+  double comm_s = 0.0;    // modeled shuffle of λ(v)
+  double comp_s = 0.0;    // max-server measured join time
+  dist::CommStats comm;
+};
+
+/// Materializes the join of the atoms in `bag` using a distributed
+/// one-round sub-join (its own HCube + Leapfrog). This is the
+/// pre-computing step of ADJ; comm/comp make up the costM actually
+/// paid.
+StatusOr<PrecomputeResult> MaterializeBag(const query::Query& q,
+                                          const storage::Catalog& db,
+                                          const ghd::Bag& bag,
+                                          dist::Cluster* cluster,
+                                          const wcoj::JoinLimits& limits);
+
+/// Builds the rewritten query Qi (Sec. III): every pre-computed bag
+/// becomes a single atom over a freshly named relation
+/// "__bag<i>"; remaining atoms are carried over. `extra` receives the
+/// materialized bag relations keyed by those names — register them in
+/// a catalog before executing Qi.
+struct RewrittenQuery {
+  query::Query query;
+  std::vector<std::pair<std::string, int>> bag_atoms;  // name, bag index
+};
+RewrittenQuery RewriteWithBags(const query::Query& q,
+                               const ghd::Decomposition& decomp,
+                               const std::vector<bool>& precompute);
+
+}  // namespace adj::exec
+
+#endif  // ADJ_EXEC_PRECOMPUTE_H_

@@ -1,0 +1,55 @@
+#ifndef ADJ_EXEC_RUN_REPORT_H_
+#define ADJ_EXEC_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/comm_stats.h"
+
+namespace adj::exec {
+
+/// Outcome of one distributed query execution, broken down the way the
+/// paper's Tables II–IV report it. Times:
+///  - optimize_s: plan search + sampling (wall clock),
+///  - precompute_s: materializing pre-computed relations (modeled comm
+///    + max-server measured compute),
+///  - comm_s: modeled shuffle cost of the final query,
+///  - comp_s: max-server measured join time of the final query,
+///  - overhead_s: per-stage scheduling overhead (limits the speed-up
+///    of trivial queries, cf. Fig. 11 Q1).
+struct RunReport {
+  Status status;
+  std::string method;
+  uint64_t output_count = 0;
+
+  double optimize_s = 0.0;
+  double precompute_s = 0.0;
+  double comm_s = 0.0;
+  double comp_s = 0.0;
+  double overhead_s = 0.0;
+
+  dist::CommStats comm;            // final-query shuffle volume
+  dist::CommStats precompute_comm; // pre-computing shuffle volume
+  uint64_t rounds = 1;             // distributed rounds (1 for one-round)
+
+  /// Per-order-position intermediate tuple counts summed over servers
+  /// (|T_i| of the paper; drives Fig. 6 / Fig. 8).
+  std::vector<uint64_t> tuples_at_level;
+  uint64_t extensions = 0;
+
+  std::string plan_description;
+
+  double TotalSeconds() const {
+    return optimize_s + precompute_s + comm_s + comp_s + overhead_s;
+  }
+
+  bool ok() const { return status.ok(); }
+
+  std::string ToString() const;
+};
+
+}  // namespace adj::exec
+
+#endif  // ADJ_EXEC_RUN_REPORT_H_

@@ -1,0 +1,153 @@
+#include "exec/yannakakis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "wcoj/naive_join.h"
+
+namespace adj::exec {
+namespace {
+
+/// Key hash of `rel` row `r` over schema positions `pos`, with the
+/// projected values appended to `key_out` for equality verification.
+uint64_t RowKey(const storage::Relation& rel, uint64_t r,
+                const std::vector<int>& pos, std::vector<Value>* key_out) {
+  uint64_t h = 0x51ED270B9D4F4E17ULL;
+  if (key_out != nullptr) key_out->clear();
+  for (int p : pos) {
+    const Value v = rel.At(r, p);
+    h = HashCombine(h, v);
+    if (key_out != nullptr) key_out->push_back(v);
+  }
+  return h;
+}
+
+}  // namespace
+
+storage::Relation SemiJoin(const storage::Relation& left,
+                           const storage::Relation& right) {
+  std::vector<AttrId> shared;
+  for (AttrId a : left.schema().attrs()) {
+    if (right.schema().Contains(a)) shared.push_back(a);
+  }
+  if (shared.empty()) return left;
+  std::vector<int> lpos, rpos;
+  for (AttrId a : shared) {
+    lpos.push_back(left.schema().PositionOf(a));
+    rpos.push_back(right.schema().PositionOf(a));
+  }
+  // Hash set of right-side keys. Collisions are tolerable here only if
+  // verified; keep a multimap row reference for exact checks.
+  std::unordered_multimap<uint64_t, uint64_t> keys;
+  keys.reserve(right.size());
+  for (uint64_t r = 0; r < right.size(); ++r) {
+    keys.emplace(RowKey(right, r, rpos, nullptr), r);
+  }
+  storage::Relation out(left.schema());
+  std::vector<Value> key;
+  for (uint64_t l = 0; l < left.size(); ++l) {
+    const uint64_t h = RowKey(left, l, lpos, &key);
+    auto [it, end] = keys.equal_range(h);
+    bool hit = false;
+    for (; it != end && !hit; ++it) {
+      hit = true;
+      for (size_t i = 0; i < rpos.size(); ++i) {
+        if (right.At(it->second, rpos[i]) != key[i]) {
+          hit = false;
+          break;
+        }
+      }
+    }
+    if (hit) out.Append(left.Row(l));
+  }
+  return out;
+}
+
+StatusOr<storage::Relation> YannakakisJoin(const query::Query& q,
+                                           const storage::Catalog& db,
+                                           const ghd::Decomposition& decomp,
+                                           YannakakisStats* stats,
+                                           uint64_t row_limit) {
+  const int k = decomp.num_bags();
+  // 1. Materialize bag relations via the oracle joiner (bags are small
+  //    by the width guarantee).
+  std::vector<storage::Relation> bags(k);
+  for (int v = 0; v < k; ++v) {
+    std::vector<query::Atom> atoms;
+    for (int i = 0; i < q.num_atoms(); ++i) {
+      if (decomp.bags[size_t(v)].atoms & (AtomMask(1) << i)) {
+        atoms.push_back(q.atom(i));
+      }
+    }
+    query::Query sub = query::Query::Make(q.attr_names(), atoms);
+    StatusOr<storage::Relation> bag = wcoj::NaiveJoin(sub, db, row_limit);
+    if (!bag.ok()) return bag.status();
+    bags[size_t(v)] = std::move(bag.value());
+    if (stats != nullptr) stats->bag_tuples += bags[size_t(v)].size();
+  }
+
+  // Children lists and a bottom-up order (leaves first). The join
+  // tree's parent links come from the GYO reduction.
+  std::vector<std::vector<int>> children(k);
+  int root = 0;
+  for (int v = 0; v < k; ++v) {
+    if (decomp.parent[size_t(v)] < 0) {
+      root = v;
+    } else {
+      children[size_t(decomp.parent[size_t(v)])].push_back(v);
+    }
+  }
+  std::vector<int> top_down = {root};
+  for (size_t i = 0; i < top_down.size(); ++i) {
+    for (int c : children[size_t(top_down[i])]) top_down.push_back(c);
+  }
+  std::vector<int> bottom_up(top_down.rbegin(), top_down.rend());
+
+  // 2. Full reduction: leaves -> root, then root -> leaves.
+  for (int v : bottom_up) {
+    const int p = decomp.parent[size_t(v)];
+    if (p >= 0) bags[size_t(p)] = SemiJoin(bags[size_t(p)], bags[size_t(v)]);
+  }
+  for (auto it = bottom_up.rbegin(); it != bottom_up.rend(); ++it) {
+    const int v = *it;
+    for (int c : children[size_t(v)]) {
+      bags[size_t(c)] = SemiJoin(bags[size_t(c)], bags[size_t(v)]);
+    }
+  }
+  if (stats != nullptr) {
+    for (const storage::Relation& bag : bags) {
+      stats->reduced_bag_tuples += bag.size();
+    }
+  }
+
+  // 3. Join top-down (every bag shares attributes with its parent, so
+  //    no join degenerates into a cartesian product); with full
+  //    reduction intermediates cannot dangle.
+  storage::Relation result;
+  bool first = true;
+  for (int v : top_down) {
+    if (first) {
+      result = std::move(bags[size_t(v)]);
+      first = false;
+      continue;
+    }
+    StatusOr<storage::Relation> joined =
+        wcoj::HashJoin(result, bags[size_t(v)], row_limit);
+    if (!joined.ok()) return joined.status();
+    result = std::move(joined.value());
+    if (stats != nullptr) stats->intermediate_tuples += result.size();
+  }
+  return result;
+}
+
+StatusOr<storage::Relation> YannakakisJoinAuto(const query::Query& q,
+                                               const storage::Catalog& db,
+                                               YannakakisStats* stats,
+                                               uint64_t row_limit) {
+  StatusOr<ghd::Decomposition> decomp = ghd::FindOptimalGhd(q);
+  if (!decomp.ok()) return decomp.status();
+  return YannakakisJoin(q, db, *decomp, stats, row_limit);
+}
+
+}  // namespace adj::exec

@@ -1,0 +1,51 @@
+#ifndef ADJ_EXEC_YANNAKAKIS_H_
+#define ADJ_EXEC_YANNAKAKIS_H_
+
+#include "common/status.h"
+#include "ghd/decomposition.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+
+namespace adj::exec {
+
+/// Yannakakis' algorithm (VLDB'81) over a GHD: the classic
+/// instance-optimal evaluator for *acyclic* queries, and the local
+/// evaluation strategy EmptyHeaded-style hybrid engines (the paper's
+/// related work, Sec. VI) use on the decomposed query.
+///
+/// Pipeline:
+///  1. materialize each bag relation (join of its atoms),
+///  2. full semi-join reduction: leaves-to-root then root-to-leaves
+///     passes over the join tree remove all dangling tuples,
+///  3. join the reduced bags bottom-up — with full reduction every
+///     intermediate is bounded by the output size.
+///
+/// Returns the full result relation (attributes ascending). Intended
+/// for sequential (per-server / oracle) use and for the hybrid
+/// ablation; the distributed engines go through HCubeJ instead.
+struct YannakakisStats {
+  uint64_t bag_tuples = 0;        // sum of materialized bag sizes
+  uint64_t reduced_bag_tuples = 0;  // after semi-join reduction
+  uint64_t intermediate_tuples = 0; // sum of join intermediates
+};
+
+StatusOr<storage::Relation> YannakakisJoin(const query::Query& q,
+                                           const storage::Catalog& db,
+                                           const ghd::Decomposition& decomp,
+                                           YannakakisStats* stats = nullptr,
+                                           uint64_t row_limit = UINT64_MAX);
+
+/// Convenience: finds the optimal GHD, then runs YannakakisJoin.
+StatusOr<storage::Relation> YannakakisJoinAuto(const query::Query& q,
+                                               const storage::Catalog& db,
+                                               YannakakisStats* stats = nullptr,
+                                               uint64_t row_limit = UINT64_MAX);
+
+/// Semi-join: rows of `left` that join with at least one row of
+/// `right` on their shared attributes (left unchanged if none shared).
+storage::Relation SemiJoin(const storage::Relation& left,
+                           const storage::Relation& right);
+
+}  // namespace adj::exec
+
+#endif  // ADJ_EXEC_YANNAKAKIS_H_

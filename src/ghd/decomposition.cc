@@ -1,0 +1,322 @@
+#include "ghd/decomposition.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "ghd/fractional_edge_cover.h"
+
+namespace adj::ghd {
+namespace {
+
+constexpr double kWidthEps = 1e-6;
+
+/// Calls fn(assignment, num_groups) for every set partition of
+/// {0..m-1}, enumerated via restricted growth strings.
+void ForEachPartition(
+    int m, const std::function<void(const std::vector<int>&, int)>& fn) {
+  std::vector<int> assign(m, 0);
+  std::function<void(int, int)> rec = [&](int i, int groups) {
+    if (i == m) {
+      fn(assign, groups);
+      return;
+    }
+    for (int g = 0; g <= groups && g < 32; ++g) {
+      assign[i] = g;
+      rec(i + 1, std::max(groups, g + 1));
+    }
+  };
+  rec(0, 0);
+}
+
+struct Candidate {
+  std::vector<Bag> bags;
+  std::vector<int> parent;
+  double width = 0.0;
+  double total_rho = 0.0;
+};
+
+/// Lexicographic better-than: min width, then max bag count, then min
+/// total rho (finer decompositions give the optimizer more candidate
+/// relations at the same worst-case bound).
+bool Better(const Candidate& a, const Candidate& b) {
+  if (a.width < b.width - kWidthEps) return true;
+  if (a.width > b.width + kWidthEps) return false;
+  if (a.bags.size() != b.bags.size()) return a.bags.size() > b.bags.size();
+  return a.total_rho < b.total_rho - kWidthEps;
+}
+
+}  // namespace
+
+std::vector<int> Decomposition::Neighbors(int v) const {
+  std::vector<int> out;
+  for (int u = 0; u < num_bags(); ++u) {
+    if (u == v) continue;
+    if (parent[u] == v || parent[v] == u) out.push_back(u);
+  }
+  return out;
+}
+
+std::string Decomposition::ToString(const query::Query& q) const {
+  std::string out = "T(width=" + std::to_string(width) + "){";
+  for (int i = 0; i < num_bags(); ++i) {
+    if (i > 0) out += "; ";
+    out += "v" + std::to_string(i) + "[";
+    bool first = true;
+    for (int a = 0; a < q.num_attrs(); ++a) {
+      if (bags[i].attrs & (AttrMask(1) << a)) {
+        if (!first) out += ",";
+        out += q.attr_name(a);
+        first = false;
+      }
+    }
+    out += "]";
+    if (parent[i] >= 0) out += "->v" + std::to_string(parent[i]);
+  }
+  out += "}";
+  return out;
+}
+
+StatusOr<Decomposition> FindOptimalGhd(const query::Query& q) {
+  const query::Hypergraph h(q);
+  const int m = h.num_edges();
+  if (m == 0) return Status::InvalidArgument("query has no atoms");
+  if (m > 12) {
+    return Status::InvalidArgument(
+        "partition-based GHD search supports <= 12 atoms");
+  }
+
+  bool found = false;
+  Candidate best;
+  Status lp_error = Status::OK();
+
+  // Per-group results are shared across the (up to Bell(m)) partitions:
+  // memoize connectivity and the fractional-edge-cover LP by atom mask.
+  std::unordered_map<AtomMask, bool> connected_cache;
+  std::unordered_map<AtomMask, double> rho_cache;
+  auto group_connected = [&](AtomMask atoms) {
+    auto it = connected_cache.find(atoms);
+    if (it != connected_cache.end()) return it->second;
+    const bool c = h.EdgesConnected(atoms);
+    connected_cache.emplace(atoms, c);
+    return c;
+  };
+  auto group_rho = [&](AtomMask atoms, AttrMask attrs) -> double {
+    auto it = rho_cache.find(atoms);
+    if (it != rho_cache.end()) return it->second;
+    std::vector<AttrMask> bag_edges;
+    for (int e = 0; e < m; ++e) {
+      if (atoms & (AtomMask(1) << e)) bag_edges.push_back(h.edge(e));
+    }
+    StatusOr<EdgeCover> cover = FractionalEdgeCover(attrs, bag_edges);
+    if (!cover.ok()) {
+      lp_error = cover.status();
+      rho_cache.emplace(atoms, -1.0);
+      return -1.0;
+    }
+    rho_cache.emplace(atoms, cover->rho);
+    return cover->rho;
+  };
+
+  ForEachPartition(m, [&](const std::vector<int>& assign, int groups) {
+    // Collect group masks.
+    std::vector<AtomMask> group_atoms(groups, 0);
+    for (int e = 0; e < m; ++e) {
+      group_atoms[assign[e]] |= (AtomMask(1) << e);
+    }
+    // Each group must be connected: a disconnected bag would be a
+    // cartesian product, never cost-effective and not a GHD node.
+    for (int g = 0; g < groups; ++g) {
+      if (!group_connected(group_atoms[g])) return;
+    }
+    // Grouped schemas must form an acyclic hypergraph (a hypertree).
+    std::vector<AttrMask> group_attrs(groups);
+    for (int g = 0; g < groups; ++g) {
+      group_attrs[g] = h.VerticesOf(group_atoms[g]);
+    }
+    std::vector<int> parent;
+    if (!query::Hypergraph::GyoAcyclic(group_attrs, &parent)) return;
+
+    Candidate cand;
+    cand.parent = parent;
+    cand.bags.resize(groups);
+    for (int g = 0; g < groups; ++g) {
+      Bag& bag = cand.bags[g];
+      bag.atoms = group_atoms[g];
+      bag.attrs = group_attrs[g];
+      bag.rho = group_rho(bag.atoms, bag.attrs);
+      if (bag.rho < 0) return;  // LP failed (recorded in lp_error)
+      cand.width = std::max(cand.width, bag.rho);
+      cand.total_rho += bag.rho;
+    }
+    if (!found || Better(cand, best)) {
+      best = std::move(cand);
+      found = true;
+    }
+  });
+
+  if (!found) {
+    if (!lp_error.ok()) return lp_error;
+    return Status::Internal("no GHD found (unexpected: the one-bag "
+                            "partition is always acyclic)");
+  }
+  Decomposition d;
+  d.bags = std::move(best.bags);
+  d.parent = std::move(best.parent);
+  d.width = best.width;
+  return d;
+}
+
+std::vector<std::vector<int>> TraversalOrders(const Decomposition& d) {
+  const int k = d.num_bags();
+  std::vector<std::vector<int>> out;
+  std::vector<int> order;
+  std::vector<bool> used(k, false);
+
+  std::function<void()> rec = [&]() {
+    if (static_cast<int>(order.size()) == k) {
+      out.push_back(order);
+      return;
+    }
+    for (int v = 0; v < k; ++v) {
+      if (used[v]) continue;
+      // Prefix connectivity: after the first bag, v must be adjacent
+      // in the join tree to an already-traversed bag.
+      if (!order.empty()) {
+        bool adjacent = false;
+        for (int u : d.Neighbors(v)) {
+          if (used[u]) {
+            adjacent = true;
+            break;
+          }
+        }
+        if (!adjacent) continue;
+      }
+      used[v] = true;
+      order.push_back(v);
+      rec();
+      order.pop_back();
+      used[v] = false;
+    }
+  };
+  rec();
+  return out;
+}
+
+std::vector<query::AttributeOrder> ValidAttributeOrders(
+    const Decomposition& d, const query::Query& q) {
+  std::vector<query::AttributeOrder> out;
+  for (const std::vector<int>& traversal : TraversalOrders(d)) {
+    // New attributes contributed by each bag along the traversal.
+    std::vector<std::vector<AttrId>> groups;
+    AttrMask seen = 0;
+    for (int v : traversal) {
+      AttrMask fresh = d.bags[v].attrs & ~seen;
+      seen |= d.bags[v].attrs;
+      std::vector<AttrId> group;
+      for (int a = 0; a < q.num_attrs(); ++a) {
+        if (fresh & (AttrMask(1) << a)) group.push_back(a);
+      }
+      if (!group.empty()) groups.push_back(std::move(group));
+    }
+    // Cartesian product of within-group permutations.
+    std::vector<query::AttributeOrder> partial{{}};
+    for (std::vector<AttrId>& group : groups) {
+      std::vector<query::AttributeOrder> next;
+      std::sort(group.begin(), group.end());
+      do {
+        for (const query::AttributeOrder& prefix : partial) {
+          query::AttributeOrder order = prefix;
+          order.insert(order.end(), group.begin(), group.end());
+          next.push_back(std::move(order));
+        }
+      } while (std::next_permutation(group.begin(), group.end()));
+      partial = std::move(next);
+    }
+    out.insert(out.end(), partial.begin(), partial.end());
+  }
+  // Different traversals can yield the same attribute order; dedupe.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool IsValidOrder(const Decomposition& d, const query::Query& q,
+                  const query::AttributeOrder& order) {
+  return !OrderBagSegments(d, q, order).empty();
+}
+
+std::vector<int> OrderBagSegments(const Decomposition& d,
+                                  const query::Query& q,
+                                  const query::AttributeOrder& order) {
+  (void)q;
+  // Greedily replay the order against some traversal: at each step the
+  // set of attributes seen so far must equal the union of a connected
+  // set of traversed bags' fresh attributes. We simulate by choosing
+  // bags as soon as one of their attributes appears and verifying
+  // segment structure.
+  const int k = d.num_bags();
+  std::vector<bool> used(k, false);
+  std::vector<int> segments;
+  AttrMask seen = 0;
+  size_t i = 0;
+  bool first_bag = true;
+  while (i < order.size()) {
+    // Find a bag that (a) contains order[i] as a fresh attribute,
+    // (b) is adjacent to a used bag (or is first), and (c) whose
+    // remaining fresh attributes exactly form the next segment.
+    bool matched = false;
+    for (int v = 0; v < k && !matched; ++v) {
+      if (used[v]) continue;
+      AttrMask fresh = d.bags[v].attrs & ~seen;
+      if ((fresh & (AttrMask(1) << order[i])) == 0) continue;
+      if (!first_bag) {
+        bool adjacent = false;
+        for (int u : d.Neighbors(v)) {
+          if (used[u]) {
+            adjacent = true;
+            break;
+          }
+        }
+        if (!adjacent) continue;
+      }
+      // The next PopCount(fresh) attributes of the order must be
+      // exactly `fresh`.
+      const int len = PopCount(fresh);
+      if (i + len > order.size()) continue;
+      AttrMask got = 0;
+      for (int j = 0; j < len; ++j) got |= (AttrMask(1) << order[i + j]);
+      if (got != fresh) continue;
+      used[v] = true;
+      seen |= d.bags[v].attrs;
+      segments.push_back(len);
+      i += len;
+      first_bag = false;
+      matched = true;
+    }
+    if (!matched) {
+      // Maybe a bag with no fresh attributes needs to be traversed
+      // (its attrs are all seen): mark any adjacent such bag used.
+      bool absorbed = false;
+      for (int v = 0; v < k; ++v) {
+        if (used[v]) continue;
+        if ((d.bags[v].attrs & ~seen) != 0) continue;
+        bool adjacent = first_bag;
+        for (int u : d.Neighbors(v)) {
+          if (used[u]) adjacent = true;
+        }
+        if (adjacent) {
+          used[v] = true;
+          segments.push_back(0);
+          absorbed = true;
+          first_bag = false;
+          break;
+        }
+      }
+      if (!absorbed) return {};
+    }
+  }
+  return segments;
+}
+
+}  // namespace adj::ghd

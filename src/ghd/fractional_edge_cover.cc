@@ -1,0 +1,37 @@
+#include "ghd/fractional_edge_cover.h"
+
+#include "ghd/simplex.h"
+
+namespace adj::ghd {
+
+StatusOr<EdgeCover> FractionalEdgeCover(AttrMask vertices,
+                                        const std::vector<AttrMask>& edges) {
+  const int m = static_cast<int>(edges.size());
+  LinearProgram lp;
+  lp.c.assign(m, 1.0);
+  for (int v = 0; v < 32; ++v) {
+    if ((vertices & (AttrMask(1) << v)) == 0) continue;
+    std::vector<double> row(m, 0.0);
+    bool covered = false;
+    for (int e = 0; e < m; ++e) {
+      if (edges[e] & (AttrMask(1) << v)) {
+        row[e] = 1.0;
+        covered = true;
+      }
+    }
+    if (!covered) {
+      return Status::InvalidArgument(
+          "vertex not covered by any edge; no edge cover exists");
+    }
+    lp.a.push_back(std::move(row));
+    lp.b.push_back(1.0);
+  }
+  StatusOr<LpSolution> sol = SolveMinCover(lp);
+  if (!sol.ok()) return sol.status();
+  EdgeCover cover;
+  cover.rho = sol->objective;
+  cover.weights = std::move(sol->x);
+  return cover;
+}
+
+}  // namespace adj::ghd

@@ -1,0 +1,29 @@
+#ifndef ADJ_GHD_FRACTIONAL_EDGE_COVER_H_
+#define ADJ_GHD_FRACTIONAL_EDGE_COVER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace adj::ghd {
+
+/// Fractional edge cover of the vertex set `vertices` using the given
+/// hyperedges: the LP  min sum_e x_e  s.t. for every v in vertices,
+/// sum_{e : v in e} x_e >= 1, x_e >= 0. Its optimum rho* is the AGM
+/// exponent: the join of relations with those schemas has at most
+/// |Rmax|^rho* output tuples (Atserias–Grohe–Marx), and a GHD's width
+/// is the max rho* over its bags (fhw).
+struct EdgeCover {
+  double rho = 0.0;              // optimal objective (the AGM exponent)
+  std::vector<double> weights;   // x_e per input edge
+};
+
+/// Fails (InvalidArgument) if some vertex in `vertices` is covered by
+/// no edge — then no cover exists.
+StatusOr<EdgeCover> FractionalEdgeCover(AttrMask vertices,
+                                        const std::vector<AttrMask>& edges);
+
+}  // namespace adj::ghd
+
+#endif  // ADJ_GHD_FRACTIONAL_EDGE_COVER_H_

@@ -1,0 +1,153 @@
+#include "ghd/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+namespace adj::ghd {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Standard-form tableau simplex with Bland's rule (no cycling).
+/// We convert  min c^T x, A x >= b, x >= 0  into
+///             min c^T x + M * sum(artificials)
+/// with surplus variables:  A x - s + t = b  (t artificial, only where
+/// needed), i.e., the big-M method. Problem sizes here are tiny
+/// (<= ~12 variables, <= ~8 constraints), so numerical behaviour is
+/// benign.
+class Tableau {
+ public:
+  Tableau(const LinearProgram& lp) {
+    const int m = static_cast<int>(lp.a.size());
+    const int n = static_cast<int>(lp.c.size());
+    n_orig_ = n;
+    // Columns: x (n), surplus s (m), artificial t (m), then RHS.
+    cols_ = n + 2 * m;
+    rows_.assign(m, std::vector<double>(cols_ + 1, 0.0));
+    basis_.assign(m, 0);
+    obj_.assign(cols_ + 1, 0.0);
+
+    const double big_m = 1e7;
+    for (int i = 0; i < m; ++i) {
+      double rhs = lp.b[i];
+      for (int j = 0; j < n; ++j) rows_[i][j] = lp.a[i][j];
+      rows_[i][n + i] = -1.0;      // surplus
+      rows_[i][n + m + i] = 1.0;   // artificial
+      rows_[i][cols_] = rhs;
+      if (rhs < 0) {
+        // Normalize to non-negative RHS.
+        for (int j = 0; j <= cols_; ++j) rows_[i][j] = -rows_[i][j];
+      }
+      basis_[i] = n + m + i;
+    }
+    for (int j = 0; j < n; ++j) obj_[j] = lp.c[j];
+    for (int i = 0; i < m; ++i) obj_[n + m + i] = big_m;
+    // Price out the artificial basis.
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j <= cols_; ++j) obj_[j] -= big_m * rows_[i][j];
+    }
+  }
+
+  Status Solve() {
+    const int max_iter = 10000;
+    for (int iter = 0; iter < max_iter; ++iter) {
+      // Bland's rule: entering column = lowest index with negative
+      // reduced cost.
+      int enter = -1;
+      for (int j = 0; j < cols_; ++j) {
+        if (obj_[j] < -kEps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < 0) return Status::OK();  // optimal
+      // Ratio test; Bland tie-break on basis index.
+      int leave = -1;
+      double best = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < int(rows_.size()); ++i) {
+        if (rows_[i][enter] > kEps) {
+          double ratio = rows_[i][cols_] / rows_[i][enter];
+          if (ratio < best - kEps ||
+              (ratio < best + kEps &&
+               (leave < 0 || basis_[i] < basis_[leave]))) {
+            best = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave < 0) return Status::Internal("LP unbounded");
+      Pivot(leave, enter);
+    }
+    return Status::Internal("simplex iteration limit");
+  }
+
+  /// Basic solution restricted to the original variables. The caller
+  /// recomputes the objective from x to avoid big-M residue.
+  LpSolution Extract() const {
+    LpSolution sol;
+    sol.x.assign(n_orig_, 0.0);
+    for (int i = 0; i < int(rows_.size()); ++i) {
+      if (basis_[i] < n_orig_) sol.x[basis_[i]] = rows_[i][cols_];
+    }
+    return sol;
+  }
+
+ private:
+  void Pivot(int leave, int enter) {
+    std::vector<double>& prow = rows_[leave];
+    const double pivot = prow[enter];
+    for (double& v : prow) v /= pivot;
+    for (int i = 0; i < int(rows_.size()); ++i) {
+      if (i == leave) continue;
+      const double factor = rows_[i][enter];
+      if (std::fabs(factor) < kEps) continue;
+      for (int j = 0; j <= cols_; ++j) rows_[i][j] -= factor * prow[j];
+    }
+    const double of = obj_[enter];
+    if (std::fabs(of) > kEps) {
+      for (int j = 0; j <= cols_; ++j) obj_[j] -= of * prow[j];
+    }
+    basis_[leave] = enter;
+  }
+
+  int n_orig_ = 0;
+  int cols_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> basis_;
+  std::vector<double> obj_;
+};
+
+}  // namespace
+
+StatusOr<LpSolution> SolveMinCover(const LinearProgram& lp) {
+  if (lp.a.size() != lp.b.size()) {
+    return Status::InvalidArgument("LP row count mismatch");
+  }
+  for (const auto& row : lp.a) {
+    if (row.size() != lp.c.size()) {
+      return Status::InvalidArgument("LP column count mismatch");
+    }
+  }
+  if (lp.a.empty()) {
+    LpSolution sol;
+    sol.x.assign(lp.c.size(), 0.0);
+    return sol;
+  }
+  Tableau tableau(lp);
+  ADJ_RETURN_IF_ERROR(tableau.Solve());
+  LpSolution sol = tableau.Extract();
+  double obj = 0.0;
+  for (size_t j = 0; j < lp.c.size(); ++j) obj += lp.c[j] * sol.x[j];
+  sol.objective = obj;
+  // Feasibility check (artificials must have left the basis).
+  for (size_t i = 0; i < lp.a.size(); ++i) {
+    double lhs = 0.0;
+    for (size_t j = 0; j < lp.c.size(); ++j) lhs += lp.a[i][j] * sol.x[j];
+    if (lhs < lp.b[i] - 1e-6) {
+      return Status::Internal("LP infeasible solution returned");
+    }
+  }
+  return sol;
+}
+
+}  // namespace adj::ghd

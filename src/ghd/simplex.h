@@ -1,0 +1,36 @@
+#ifndef ADJ_GHD_SIMPLEX_H_
+#define ADJ_GHD_SIMPLEX_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace adj::ghd {
+
+/// Dense two-phase simplex solver for the small linear programs that
+/// arise in fractional edge cover / fractional hypertree width
+/// computation (a handful of variables and constraints).
+///
+/// Solves:  minimize    c^T x
+///          subject to  A x >= b,  x >= 0
+///
+/// Problems here are always feasible and bounded (edge covers exist,
+/// weights are non-negative with positive costs), but the solver
+/// reports Status errors defensively.
+struct LinearProgram {
+  // Row-major constraint matrix, one row per ">=" constraint.
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;  // right-hand sides
+  std::vector<double> c;  // objective coefficients
+};
+
+struct LpSolution {
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+StatusOr<LpSolution> SolveMinCover(const LinearProgram& lp);
+
+}  // namespace adj::ghd
+
+#endif  // ADJ_GHD_SIMPLEX_H_

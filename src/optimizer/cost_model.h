@@ -1,0 +1,44 @@
+#ifndef ADJ_OPTIMIZER_COST_MODEL_H_
+#define ADJ_OPTIMIZER_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "dist/cluster.h"
+
+namespace adj::optimizer {
+
+/// The cost model of Sec. III-B. Communication is priced by the
+/// cluster's NetworkModel (the generalization of the paper's measured
+/// constant alpha); computation is priced by extension rates:
+///   beta_precomputed — partial-binding extensions/s when the node
+///     being extended is a pre-computed (materialized, trie-indexed)
+///     relation; pre-measured by probing a calibration trie,
+///   beta_raw — extensions/s otherwise; re-fitted from the statistics
+///     gathered during sampling of each test case ("we set beta_i by
+///     reusing statistics gathered during sampling").
+struct CostModel {
+  dist::NetworkModel net;
+  int num_servers = 4;
+  double beta_precomputed = 4e6;
+  double beta_raw = 1e6;
+
+  /// Average tuple payload used to convert tuple-copy estimates to
+  /// bytes for the network model.
+  double bytes_per_tuple = 12.0;
+
+  /// costC-style term: modeled seconds to shuffle `tuple_copies`.
+  double CommSeconds(double tuple_copies) const;
+
+  /// costE^i: seconds to extend `bindings` partial bindings at a node,
+  /// split across the servers.
+  double ExtendSeconds(double bindings, bool node_precomputed) const;
+};
+
+/// Measures beta_precomputed by timing seeks on a synthetic
+/// calibration trie of roughly `trie_tuples` tuples (the paper
+/// pre-measures beta on tries of various sizes).
+double CalibrateBetaPrecomputed(uint64_t trie_tuples = 1 << 16);
+
+}  // namespace adj::optimizer
+
+#endif  // ADJ_OPTIMIZER_COST_MODEL_H_

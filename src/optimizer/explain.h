@@ -1,0 +1,22 @@
+#ifndef ADJ_OPTIMIZER_EXPLAIN_H_
+#define ADJ_OPTIMIZER_EXPLAIN_H_
+
+#include <string>
+
+#include "optimizer/adj_optimizer.h"
+#include "optimizer/query_plan.h"
+
+namespace adj::optimizer {
+
+/// Human-readable plan explanation: the hypertree, the traversal with
+/// per-node pre-compute decisions and estimated sizes, the derived
+/// attribute order, and the per-position costE breakdown — the paper's
+/// Sec. III walked-through example, generated for any query.
+///
+/// Written for EXPLAIN-style tooling (adj_cli --explain and the
+/// social_recommendation example).
+std::string ExplainPlan(const PlanningInputs& in, const QueryPlan& plan);
+
+}  // namespace adj::optimizer
+
+#endif  // ADJ_OPTIMIZER_EXPLAIN_H_

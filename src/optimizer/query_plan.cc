@@ -1,0 +1,23 @@
+#include "optimizer/query_plan.h"
+
+#include <cstdio>
+
+namespace adj::optimizer {
+
+std::string QueryPlan::ToString(const query::Query& q) const {
+  std::string out = "plan{traversal=[";
+  for (size_t i = 0; i < traversal.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "v" + std::to_string(traversal[i]);
+    if (precompute[size_t(traversal[i])]) out += "*";
+  }
+  out += "], ord=" + query::OrderToString(order, q);
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                ", est pre=%.3f comm=%.3f comp=%.3f total=%.3f}",
+                est_precompute_s, est_comm_s, est_comp_s, EstTotal());
+  out += buf;
+  return out;
+}
+
+}  // namespace adj::optimizer

@@ -1,0 +1,82 @@
+#include "optimizer/share_optimizer.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+namespace adj::optimizer {
+
+double ShareCost(const std::vector<ShareInput>& rels,
+                 const dist::ShareVector& p, int num_servers) {
+  double cost = 0.0;
+  for (const ShareInput& rel : rels) {
+    const uint64_t dup = dist::DupCubes(rel.schema, p);
+    // More cubes than servers collapse onto the same server, so a
+    // tuple is shipped to at most N distinct destinations.
+    const double copies =
+        double(rel.tuples) *
+        double(std::min<uint64_t>(dup, uint64_t(num_servers)));
+    cost += copies;
+  }
+  return cost;
+}
+
+StatusOr<dist::ShareVector> OptimizeShares(
+    const std::vector<ShareInput>& rels, int num_attrs,
+    const dist::ClusterConfig& cluster, const ShareOptimizerOptions& options) {
+  if (num_attrs <= 0) return Status::InvalidArgument("no attributes");
+  const uint64_t n_servers = uint64_t(cluster.num_servers);
+  const uint64_t cap = options.max_cubes_factor * n_servers;
+
+  dist::ShareVector best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  bool best_feasible = false;
+  dist::ShareVector cur;
+  cur.p.assign(num_attrs, 1);
+
+  std::function<void(int, uint64_t)> rec = [&](int attr, uint64_t product) {
+    if (attr == num_attrs) {
+      if (product < n_servers) return;  // not enough cubes to use servers
+      // Memory constraint: average resident bytes per server.
+      double resident = 0.0;
+      for (const ShareInput& rel : rels) {
+        resident += double(rel.bytes) * dist::ServerFraction(rel.schema, cur);
+      }
+      const bool feasible =
+          resident <= double(cluster.memory_per_server_bytes);
+      const double cost = ShareCost(rels, cur, cluster.num_servers);
+      // Prefer feasible; among equals take lower cost, then fewer cubes.
+      const bool better =
+          (feasible && !best_feasible) ||
+          (feasible == best_feasible &&
+           (cost < best_cost - 1e-9 ||
+            (cost < best_cost + 1e-9 && !best.p.empty() &&
+             cur.NumCubes() < best.NumCubes())));
+      if (best.p.empty() || better) {
+        best = cur;
+        best_cost = cost;
+        best_feasible = feasible;
+      }
+      return;
+    }
+    for (uint64_t share = 1; share <= n_servers; ++share) {
+      if (product * share > cap) break;
+      cur.p[attr] = static_cast<uint32_t>(share);
+      rec(attr + 1, product * share);
+    }
+    cur.p[attr] = 1;
+  };
+  rec(0, 1);
+
+  if (best.p.empty()) {
+    // Degenerate: fewer cube combinations than servers (tiny N or
+    // single attribute). Fall back to all shares on the first
+    // attribute, capped at N.
+    best.p.assign(num_attrs, 1);
+    best.p[0] = static_cast<uint32_t>(
+        std::min<uint64_t>(n_servers, cap == 0 ? 1 : cap));
+  }
+  return best;
+}
+
+}  // namespace adj::optimizer

@@ -1,0 +1,45 @@
+#ifndef ADJ_OPTIMIZER_SHARE_OPTIMIZER_H_
+#define ADJ_OPTIMIZER_SHARE_OPTIMIZER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "dist/cluster.h"
+#include "dist/hcube.h"
+
+namespace adj::optimizer {
+
+/// Relation summary for share optimization.
+struct ShareInput {
+  AttrMask schema = 0;
+  uint64_t tuples = 0;
+  uint64_t bytes = 0;
+};
+
+struct ShareOptimizerOptions {
+  /// Total hypercube coordinates may exceed the server count by this
+  /// factor ("P can be larger than N*", Sec. II-A).
+  uint64_t max_cubes_factor = 4;
+};
+
+/// Solves the paper's share-optimization program (Eq. 3): find the
+/// integer share vector p minimizing the shuffled volume
+///   sum_R |R| * dup(R, p)
+/// subject to p >= 1, enough cubes for every server, and the average
+/// per-server resident set fitting in memory
+///   sum_R bytes(R) * frac(R, p) <= M.
+/// Exhaustive search over integer vectors with prod(p) <= factor * N —
+/// tractable for the paper's <= 5-attribute queries.
+StatusOr<dist::ShareVector> OptimizeShares(
+    const std::vector<ShareInput>& rels, int num_attrs,
+    const dist::ClusterConfig& cluster,
+    const ShareOptimizerOptions& options = {});
+
+/// The objective value (estimated tuple copies) of a share vector.
+double ShareCost(const std::vector<ShareInput>& rels,
+                 const dist::ShareVector& p, int num_servers);
+
+}  // namespace adj::optimizer
+
+#endif  // ADJ_OPTIMIZER_SHARE_OPTIMIZER_H_

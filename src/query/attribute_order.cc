@@ -1,0 +1,35 @@
+#include "query/attribute_order.h"
+
+#include <algorithm>
+
+namespace adj::query {
+
+std::vector<int> RankOf(const AttributeOrder& order, int num_attrs) {
+  std::vector<int> rank(num_attrs, -1);
+  for (size_t i = 0; i < order.size(); ++i) rank[order[i]] = int(i);
+  return rank;
+}
+
+std::vector<AttributeOrder> AllOrders(AttrMask attrs) {
+  AttributeOrder base;
+  for (int a = 0; a < 32; ++a) {
+    if (attrs & (AttrMask(1) << a)) base.push_back(a);
+  }
+  std::vector<AttributeOrder> out;
+  std::sort(base.begin(), base.end());
+  do {
+    out.push_back(base);
+  } while (std::next_permutation(base.begin(), base.end()));
+  return out;
+}
+
+std::string OrderToString(const AttributeOrder& order, const Query& q) {
+  std::string out;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i > 0) out += " < ";
+    out += q.attr_name(order[i]);
+  }
+  return out;
+}
+
+}  // namespace adj::query

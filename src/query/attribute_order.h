@@ -1,0 +1,30 @@
+#ifndef ADJ_QUERY_ATTRIBUTE_ORDER_H_
+#define ADJ_QUERY_ATTRIBUTE_ORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "query/query.h"
+
+namespace adj::query {
+
+/// A total order over a query's attributes ("ord" in the paper):
+/// order[i] is the attribute expanded at Leapfrog depth i.
+using AttributeOrder = std::vector<AttrId>;
+
+/// rank[attr] = position of attr in `order`. Attributes not in the
+/// order get rank -1.
+std::vector<int> RankOf(const AttributeOrder& order, int num_attrs);
+
+/// All n! permutations of the attributes in `attrs` (as a mask).
+/// Used by the Fig. 8 ablation, which exhaustively scores every order;
+/// callers should keep n small (the paper's queries have n <= 5).
+std::vector<AttributeOrder> AllOrders(AttrMask attrs);
+
+/// Renders "a ≺ b ≺ c" style.
+std::string OrderToString(const AttributeOrder& order, const Query& q);
+
+}  // namespace adj::query
+
+#endif  // ADJ_QUERY_ATTRIBUTE_ORDER_H_

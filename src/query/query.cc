@@ -1,0 +1,138 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+namespace adj::query {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+StatusOr<Query> Query::Parse(const std::string& text) {
+  struct RawAtom {
+    std::string relation;
+    std::vector<std::string> attrs;
+  };
+  std::vector<RawAtom> raw;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    if (std::isspace(static_cast<unsigned char>(text[i])) || text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (!IsIdentChar(text[i])) {
+      return Status::InvalidArgument("unexpected character in query: " +
+                                     std::string(1, text[i]));
+    }
+    size_t start = i;
+    while (i < n && IsIdentChar(text[i])) ++i;
+    RawAtom atom;
+    atom.relation = text.substr(start, i - start);
+    while (i < n && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i >= n || text[i] != '(') {
+      return Status::InvalidArgument("expected '(' after relation name " +
+                                     atom.relation);
+    }
+    ++i;  // consume '('
+    while (true) {
+      while (i < n && (std::isspace(static_cast<unsigned char>(text[i])) ||
+                       text[i] == ',')) {
+        ++i;
+      }
+      if (i >= n) return Status::InvalidArgument("unterminated atom");
+      if (text[i] == ')') {
+        ++i;
+        break;
+      }
+      size_t astart = i;
+      while (i < n && IsIdentChar(text[i])) ++i;
+      if (i == astart) {
+        return Status::InvalidArgument("bad attribute list in atom " +
+                                       atom.relation);
+      }
+      atom.attrs.push_back(text.substr(astart, i - astart));
+    }
+    if (atom.attrs.empty()) {
+      return Status::InvalidArgument("atom with no attributes: " +
+                                     atom.relation);
+    }
+    raw.push_back(std::move(atom));
+  }
+  if (raw.size() < 1) {
+    return Status::InvalidArgument("query has no atoms");
+  }
+
+  // Assign attribute ids in sorted name order so "a ≺ b ≺ c" is id order.
+  std::map<std::string, AttrId> ids;
+  for (const RawAtom& atom : raw) {
+    for (const std::string& a : atom.attrs) ids.emplace(a, 0);
+  }
+  if (ids.size() > 32) {
+    return Status::InvalidArgument("more than 32 attributes unsupported");
+  }
+  Query q;
+  for (auto& [name, id] : ids) {
+    id = static_cast<AttrId>(q.attr_names_.size());
+    q.attr_names_.push_back(name);
+  }
+  for (const RawAtom& atom : raw) {
+    std::vector<AttrId> schema;
+    schema.reserve(atom.attrs.size());
+    for (const std::string& a : atom.attrs) schema.push_back(ids[a]);
+    // Duplicate attribute within one atom is not a natural-join atom.
+    std::vector<AttrId> sorted = schema;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return Status::InvalidArgument("repeated attribute in atom " +
+                                     atom.relation);
+    }
+    q.atoms_.push_back(Atom{atom.relation, storage::Schema(std::move(schema))});
+  }
+  return q;
+}
+
+Query Query::Make(std::vector<std::string> attr_names,
+                  std::vector<Atom> atoms) {
+  Query q;
+  q.attr_names_ = std::move(attr_names);
+  q.atoms_ = std::move(atoms);
+  return q;
+}
+
+AtomMask Query::AtomsWith(AttrId a) const {
+  AtomMask mask = 0;
+  for (int i = 0; i < num_atoms(); ++i) {
+    if (atoms_[i].schema.Contains(a)) mask |= (AtomMask(1) << i);
+  }
+  return mask;
+}
+
+StatusOr<AttrId> Query::AttrByName(const std::string& name) const {
+  for (int i = 0; i < num_attrs(); ++i) {
+    if (attr_names_[i] == name) return static_cast<AttrId>(i);
+  }
+  return Status::NotFound("no attribute named " + name);
+}
+
+std::string Query::ToString() const {
+  std::string out;
+  for (int i = 0; i < num_atoms(); ++i) {
+    if (i > 0) out += " ⋈ ";
+    out += atoms_[i].relation + "(";
+    const storage::Schema& s = atoms_[i].schema;
+    for (int j = 0; j < s.arity(); ++j) {
+      if (j > 0) out += ",";
+      out += attr_names_[s.attr(j)];
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace adj::query

@@ -1,0 +1,69 @@
+#ifndef ADJ_QUERY_QUERY_H_
+#define ADJ_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/schema.h"
+
+namespace adj::query {
+
+/// One relation occurrence in a natural-join query: a relation name
+/// (resolved against the catalog at execution time) and the query
+/// attributes it binds.
+struct Atom {
+  std::string relation;   // catalog name of the base relation
+  storage::Schema schema; // attributes bound by this occurrence
+};
+
+/// A natural join query Q :- R1(...) ⋈ ... ⋈ Rm(...), Eq. (1) of the
+/// paper. Attributes live in a query-level universe: attribute id i has
+/// name attr_names()[i]; ids are assigned alphabetically so that the
+/// paper's "a ≺ b ≺ c ..." order is id order.
+class Query {
+ public:
+  Query() = default;
+
+  /// Parses the compact form used throughout the paper, e.g.
+  ///   "R1(a,b) R2(b,c) R3(a,c)".
+  /// Every parenthesized group is one atom; the identifier before it is
+  /// the catalog name of its base relation. Attribute names are
+  /// single identifiers; ids are assigned in sorted name order.
+  static StatusOr<Query> Parse(const std::string& text);
+
+  int num_attrs() const { return static_cast<int>(attr_names_.size()); }
+  int num_atoms() const { return static_cast<int>(atoms_.size()); }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const Atom& atom(int i) const { return atoms_[i]; }
+  const std::vector<std::string>& attr_names() const { return attr_names_; }
+  const std::string& attr_name(AttrId a) const { return attr_names_[a]; }
+
+  /// Mask of all attributes (attrs(Q)).
+  AttrMask AllAttrs() const {
+    return num_attrs() >= 32 ? ~AttrMask(0)
+                             : (AttrMask(1) << num_attrs()) - 1;
+  }
+
+  /// Atoms (as a mask) whose schema contains attribute `a`.
+  AtomMask AtomsWith(AttrId a) const;
+
+  /// Attribute id for `name`, or error.
+  StatusOr<AttrId> AttrByName(const std::string& name) const;
+
+  std::string ToString() const;
+
+  /// Direct construction (used by pre-computed query rewriting):
+  /// attr names indexed by AttrId, plus atoms over those ids.
+  static Query Make(std::vector<std::string> attr_names,
+                    std::vector<Atom> atoms);
+
+ private:
+  std::vector<std::string> attr_names_;
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace adj::query
+
+#endif  // ADJ_QUERY_QUERY_H_

@@ -1,0 +1,141 @@
+#include "sampling/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace adj::sampling {
+
+uint64_t ChernoffSampleCount(double p, double delta) {
+  if (p <= 0 || delta <= 0 || delta >= 1) return 1;
+  return static_cast<uint64_t>(
+      std::ceil(0.5 / (p * p) * std::log(2.0 / delta)));
+}
+
+StatusOr<SampleEstimate> SampleCardinality(const query::Query& q,
+                                           const storage::Catalog& db,
+                                           const query::AttributeOrder& order,
+                                           const SamplerOptions& options,
+                                           const dist::NetworkModel& net,
+                                           int num_servers) {
+  if (order.empty()) return Status::InvalidArgument("empty order");
+  WallTimer timer;
+  SampleEstimate est;
+
+  // Prepare tries for the sampling order.
+  const std::vector<int> rank = query::RankOf(order, q.num_attrs());
+  std::vector<wcoj::PreparedRelation> prepared;
+  std::vector<wcoj::JoinInput> inputs;
+  prepared.reserve(q.num_atoms());
+  for (const query::Atom& atom : q.atoms()) {
+    StatusOr<const storage::Relation*> base = db.Get(atom.relation);
+    if (!base.ok()) return base.status();
+    StatusOr<wcoj::PreparedRelation> prep =
+        wcoj::PrepareRelation(**base, atom.schema.attrs(), rank);
+    if (!prep.ok()) return prep.status();
+    prepared.push_back(std::move(prep.value()));
+  }
+  for (const wcoj::PreparedRelation& p : prepared) {
+    inputs.push_back(wcoj::JoinInput{&p.trie, p.attrs});
+  }
+
+  // val(A): intersect the A-projections of the relations containing A.
+  const AttrId attr_a = order[0];
+  std::vector<Value> val_a;
+  bool first = true;
+  for (const wcoj::PreparedRelation& p : prepared) {
+    if (p.attrs.empty() || p.attrs[0] != attr_a) continue;
+    // A is the first trie level (it ranks first), so level-0 values
+    // are exactly the distinct A-projection.
+    std::span<const Value> level0 = p.trie.values(0);
+    if (first) {
+      val_a.assign(level0.begin(), level0.end());
+      first = false;
+    } else {
+      std::vector<Value> merged;
+      merged.reserve(std::min(val_a.size(), level0.size()));
+      std::set_intersection(val_a.begin(), val_a.end(), level0.begin(),
+                            level0.end(), std::back_inserter(merged));
+      val_a = std::move(merged);
+    }
+  }
+  if (first) {
+    return Status::InvalidArgument(
+        "first order attribute appears in no atom");
+  }
+  est.val_a_size = val_a.size();
+  if (val_a.empty()) {
+    est.cardinality = 0;
+    est.seconds = timer.Seconds();
+    return est;
+  }
+
+  // Draw k values with replacement and run pinned Leapfrogs.
+  Rng rng(options.seed);
+  const uint64_t k = std::max<uint64_t>(1, options.num_samples);
+  wcoj::JoinStats stats;
+  double sum = 0.0;
+  std::vector<Value> sampled;
+  sampled.reserve(k);
+  for (uint64_t i = 0; i < k; ++i) {
+    const Value v = val_a[rng.Uniform(val_a.size())];
+    sampled.push_back(v);
+    StatusOr<uint64_t> count =
+        wcoj::LeapfrogJoin(inputs, order, /*emit=*/nullptr, &stats,
+                           options.per_sample_limits, v);
+    if (!count.ok()) {
+      // A capped sample contributes its partial count — a documented
+      // bias source; with default (unlimited) limits this never fires.
+      continue;
+    }
+    sum += double(*count);
+  }
+  est.samples = k;
+  est.cardinality = double(est.val_a_size) * (sum / double(k));
+
+  // Scaled per-level counts: X̄ per level times |val(A)|.
+  est.est_tuples_at_level.resize(stats.tuples_at_level.size());
+  for (size_t i = 0; i < stats.tuples_at_level.size(); ++i) {
+    est.est_tuples_at_level[i] =
+        double(est.val_a_size) * double(stats.tuples_at_level[i]) /
+        double(k);
+  }
+
+  est.seconds = timer.Seconds();
+  est.beta_extensions_per_s =
+      stats.seconds > 0 ? double(stats.extensions) / stats.seconds : 0.0;
+
+  if (options.distributed) {
+    // Sec. IV: before sampling, the database is reduced — shuffle the
+    // A-projections, intersect, semijoin-filter with the sampled
+    // values, then shuffle only the reduced relations.
+    std::sort(sampled.begin(), sampled.end());
+    sampled.erase(std::unique(sampled.begin(), sampled.end()),
+                  sampled.end());
+    uint64_t copies = 0, bytes = 0;
+    for (const wcoj::PreparedRelation& p : prepared) {
+      if (!p.attrs.empty() && p.attrs[0] == attr_a) {
+        // Projection shuffle.
+        copies += p.trie.values(0).size();
+        bytes += p.trie.values(0).size() * sizeof(Value);
+        // Reduced relation shuffle.
+        storage::Relation reduced = p.rel.SemiJoinFilter(0, sampled);
+        copies += reduced.size();
+        bytes += reduced.SizeBytes();
+      } else {
+        copies += p.rel.size();
+        bytes += p.rel.SizeBytes();
+      }
+    }
+    est.comm.tuple_copies = copies;
+    est.comm.bytes = bytes;
+    est.comm.blocks = uint64_t(num_servers) * q.num_atoms();
+    est.comm.seconds =
+        dist::PullSeconds(net, est.comm.blocks, bytes, num_servers);
+  }
+  return est;
+}
+
+}  // namespace adj::sampling

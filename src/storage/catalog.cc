@@ -1,0 +1,40 @@
+#include "storage/catalog.h"
+
+namespace adj::storage {
+
+void Catalog::Put(const std::string& name, Relation rel) {
+  relations_[name] = std::make_unique<Relation>(std::move(rel));
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return relations_.count(name) > 0;
+}
+
+StatusOr<const Relation*> Catalog::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation not in catalog: " + name);
+  }
+  return static_cast<const Relation*>(it->second.get());
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+uint64_t Catalog::TotalTuples() const {
+  uint64_t n = 0;
+  for (const auto& [name, rel] : relations_) n += rel->size();
+  return n;
+}
+
+uint64_t Catalog::TotalBytes() const {
+  uint64_t n = 0;
+  for (const auto& [name, rel] : relations_) n += rel->SizeBytes();
+  return n;
+}
+
+}  // namespace adj::storage

@@ -1,0 +1,48 @@
+#ifndef ADJ_STORAGE_CATALOG_H_
+#define ADJ_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace adj::storage {
+
+/// Named collection of base relations — the database D of the paper.
+/// For the paper's subgraph workloads every query atom is bound to a
+/// copy of the same edge relation; the catalog stores each distinct
+/// physical relation once and atoms reference it by name.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Movable, not copyable (relations can be large).
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers `rel` under `name`, replacing any previous binding.
+  void Put(const std::string& name, Relation rel);
+
+  bool Contains(const std::string& name) const;
+
+  /// Borrowed pointer; valid until the entry is replaced or the
+  /// catalog is destroyed.
+  StatusOr<const Relation*> Get(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+  uint64_t TotalTuples() const;
+  uint64_t TotalBytes() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace adj::storage
+
+#endif  // ADJ_STORAGE_CATALOG_H_

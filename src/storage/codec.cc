@@ -1,0 +1,199 @@
+#include "storage/codec.h"
+
+#include <functional>
+
+namespace adj::storage {
+
+void PutVarint(uint64_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+StatusOr<uint64_t> GetVarint(const std::vector<uint8_t>& buf, size_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < buf.size()) {
+    const uint8_t byte = buf[(*pos)++];
+    v |= uint64_t(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) break;
+  }
+  return Status::OutOfRange("truncated varint");
+}
+
+void EncodeSortedValues(std::span<const Value> values,
+                        std::vector<uint8_t>* out) {
+  PutVarint(values.size(), out);
+  Value prev = 0;
+  for (Value v : values) {
+    PutVarint(uint64_t(v) - uint64_t(prev), out);
+    prev = v;
+  }
+}
+
+Status DecodeSortedValues(const std::vector<uint8_t>& buf, size_t* pos,
+                          std::vector<Value>* out) {
+  StatusOr<uint64_t> count = GetVarint(buf, pos);
+  if (!count.ok()) return count.status();
+  out->clear();
+  out->reserve(*count);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < *count; ++i) {
+    StatusOr<uint64_t> delta = GetVarint(buf, pos);
+    if (!delta.ok()) return delta.status();
+    prev += *delta;
+    if (prev > 0xFFFFFFFFull) return Status::OutOfRange("value overflow");
+    out->push_back(static_cast<Value>(prev));
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> EncodeRelationBlock(const Relation& rel) {
+  std::vector<uint8_t> out;
+  const int k = rel.arity();
+  PutVarint(uint64_t(k), &out);
+  PutVarint(rel.size(), &out);
+  // Shared-prefix + delta coding: for each row, the length of the
+  // common prefix with the previous row, then a delta for the first
+  // differing column and absolute values after it.
+  std::vector<Value> prev(k, 0);
+  for (uint64_t r = 0; r < rel.size(); ++r) {
+    std::span<const Value> row = rel.Row(r);
+    int common = 0;
+    if (r > 0) {
+      while (common < k && prev[size_t(common)] == row[size_t(common)]) {
+        ++common;
+      }
+    }
+    PutVarint(uint64_t(common), &out);
+    for (int c = common; c < k; ++c) {
+      if (c == common && r > 0) {
+        // Sorted input: first differing column strictly increases.
+        PutVarint(uint64_t(row[size_t(c)]) - uint64_t(prev[size_t(c)]),
+                  &out);
+      } else {
+        PutVarint(uint64_t(row[size_t(c)]), &out);
+      }
+      prev[size_t(c)] = row[size_t(c)];
+    }
+  }
+  return out;
+}
+
+StatusOr<Relation> DecodeRelationBlock(const std::vector<uint8_t>& buf,
+                                       const Schema& schema) {
+  size_t pos = 0;
+  StatusOr<uint64_t> arity = GetVarint(buf, &pos);
+  if (!arity.ok()) return arity.status();
+  if (int(*arity) != schema.arity()) {
+    return Status::InvalidArgument("block arity does not match schema");
+  }
+  StatusOr<uint64_t> rows = GetVarint(buf, &pos);
+  if (!rows.ok()) return rows.status();
+  const int k = schema.arity();
+  Relation rel(schema);
+  rel.Reserve(*rows);
+  std::vector<Value> prev(k, 0);
+  for (uint64_t r = 0; r < *rows; ++r) {
+    StatusOr<uint64_t> common = GetVarint(buf, &pos);
+    if (!common.ok()) return common.status();
+    if (*common > uint64_t(k)) return Status::OutOfRange("bad prefix len");
+    for (int c = int(*common); c < k; ++c) {
+      StatusOr<uint64_t> coded = GetVarint(buf, &pos);
+      if (!coded.ok()) return coded.status();
+      uint64_t value = *coded;
+      if (c == int(*common) && r > 0) value += prev[size_t(c)];
+      if (value > 0xFFFFFFFFull) return Status::OutOfRange("value overflow");
+      prev[size_t(c)] = static_cast<Value>(value);
+    }
+    rel.Append(std::span<const Value>(prev.data(), size_t(k)));
+  }
+  return rel;
+}
+
+std::vector<uint8_t> EncodeTrieBlock(const Trie& trie) {
+  std::vector<uint8_t> out;
+  const int k = trie.arity();
+  PutVarint(uint64_t(k), &out);
+  for (int l = 0; l < k; ++l) {
+    // Values per level are sorted runs *within a parent*; across
+    // parents they restart, so encode raw varints (still small) for
+    // robustness, plus the child offsets as a sorted sequence.
+    std::span<const Value> values = trie.values(l);
+    PutVarint(values.size(), &out);
+    for (Value v : values) PutVarint(uint64_t(v), &out);
+    if (l + 1 < k) {
+      // Offsets ascend: delta-encode.
+      std::vector<Value> offsets;
+      offsets.reserve(values.size() + 1);
+      for (uint32_t i = 0; i < values.size(); ++i) {
+        offsets.push_back(trie.ChildRange(l, i).lo);
+      }
+      offsets.push_back(values.empty()
+                            ? 0
+                            : trie.ChildRange(l, uint32_t(values.size()) - 1)
+                                  .hi);
+      EncodeSortedValues(offsets, &out);
+    }
+  }
+  return out;
+}
+
+StatusOr<Relation> DecodeTrieBlockToRelation(const std::vector<uint8_t>& buf,
+                                             const Schema& schema) {
+  size_t pos = 0;
+  StatusOr<uint64_t> arity = GetVarint(buf, &pos);
+  if (!arity.ok()) return arity.status();
+  const int k = int(*arity);
+  if (k != schema.arity()) {
+    return Status::InvalidArgument("trie block arity mismatch");
+  }
+  std::vector<std::vector<Value>> values(k);
+  std::vector<std::vector<Value>> offsets(k);  // per level, size+1
+  for (int l = 0; l < k; ++l) {
+    StatusOr<uint64_t> count = GetVarint(buf, &pos);
+    if (!count.ok()) return count.status();
+    values[size_t(l)].reserve(*count);
+    for (uint64_t i = 0; i < *count; ++i) {
+      StatusOr<uint64_t> v = GetVarint(buf, &pos);
+      if (!v.ok()) return v.status();
+      values[size_t(l)].push_back(static_cast<Value>(*v));
+    }
+    if (l + 1 < k) {
+      ADJ_RETURN_IF_ERROR(DecodeSortedValues(buf, &pos, &offsets[size_t(l)]));
+      if (offsets[size_t(l)].size() != values[size_t(l)].size() + 1) {
+        return Status::OutOfRange("trie offsets inconsistent");
+      }
+    }
+  }
+  // Reconstruct rows by walking the implied trie (depth <= arity).
+  Relation rel(schema);
+  std::vector<Value> row(k);
+  std::function<Status(int, uint32_t, uint32_t)> walk =
+      [&](int level, uint32_t lo, uint32_t hi) -> Status {
+    for (uint32_t i = lo; i < hi; ++i) {
+      row[size_t(level)] = values[size_t(level)][i];
+      if (level + 1 == k) {
+        rel.Append(row);
+      } else {
+        const uint32_t clo = offsets[size_t(level)][i];
+        const uint32_t chi = offsets[size_t(level)][i + 1];
+        if (chi < clo || chi > values[size_t(level) + 1].size()) {
+          return Status::OutOfRange("trie child range corrupt");
+        }
+        ADJ_RETURN_IF_ERROR(walk(level + 1, clo, chi));
+      }
+    }
+    return Status::OK();
+  };
+  if (k > 0 && !values[0].empty()) {
+    ADJ_RETURN_IF_ERROR(walk(0, 0, uint32_t(values[0].size())));
+  }
+  return rel;
+}
+
+}  // namespace adj::storage

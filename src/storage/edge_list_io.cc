@@ -1,0 +1,73 @@
+#include "storage/edge_list_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace adj::storage {
+namespace {
+
+Status ParseInto(std::istream& in, Relation* rel) {
+  std::string line;
+  uint64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] == '#') continue;  // blank / comment
+    unsigned long long u = 0, v = 0;
+    if (std::sscanf(line.c_str() + i, "%llu %llu", &u, &v) != 2) {
+      return Status::InvalidArgument("malformed edge at line " +
+                                     std::to_string(lineno) + ": " + line);
+    }
+    if (u > 0xFFFFFFFFull || v > 0xFFFFFFFFull) {
+      return Status::OutOfRange("node id exceeds 32 bits at line " +
+                                std::to_string(lineno));
+    }
+    if (u == v) continue;  // drop self loops, as the generators do
+    rel->Append({static_cast<Value>(u), static_cast<Value>(v)});
+  }
+  rel->SortAndDedup();
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Relation> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open edge list: " + path);
+  }
+  Relation rel(Schema({0, 1}));
+  ADJ_RETURN_IF_ERROR(ParseInto(in, &rel));
+  return rel;
+}
+
+StatusOr<Relation> ParseEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  Relation rel(Schema({0, 1}));
+  ADJ_RETURN_IF_ERROR(ParseInto(in, &rel));
+  return rel;
+}
+
+Status SaveEdgeList(const Relation& rel, const std::string& path) {
+  if (rel.arity() != 2) {
+    return Status::InvalidArgument("edge-list output requires arity 2");
+  }
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << "# adj edge list: " << rel.size() << " edges\n";
+  for (uint64_t r = 0; r < rel.size(); ++r) {
+    out << rel.At(r, 0) << '\t' << rel.At(r, 1) << '\n';
+  }
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace adj::storage

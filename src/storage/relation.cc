@@ -1,0 +1,115 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace adj::storage {
+namespace {
+
+/// Sorts the flat row-major buffer of `arity`-wide rows in place,
+/// lexicographically, and removes duplicate rows.
+void SortRows(std::vector<Value>& data, int arity) {
+  if (arity == 0 || data.empty()) return;
+  const uint64_t rows = data.size() / arity;
+  std::vector<uint64_t> index(rows);
+  for (uint64_t i = 0; i < rows; ++i) index[i] = i;
+  const Value* base = data.data();
+  std::sort(index.begin(), index.end(), [&](uint64_t a, uint64_t b) {
+    return std::lexicographical_compare(
+        base + a * arity, base + (a + 1) * arity, base + b * arity,
+        base + (b + 1) * arity);
+  });
+  std::vector<Value> out;
+  out.reserve(data.size());
+  const Value* prev = nullptr;
+  for (uint64_t i : index) {
+    const Value* row = base + i * arity;
+    if (prev != nullptr && std::memcmp(prev, row, arity * sizeof(Value)) == 0) {
+      continue;
+    }
+    out.insert(out.end(), row, row + arity);
+    prev = out.data() + out.size() - arity;
+  }
+  data = std::move(out);
+}
+
+}  // namespace
+
+void Relation::Append(std::span<const Value> tuple) {
+  ADJ_CHECK(static_cast<int>(tuple.size()) == arity())
+      << "arity mismatch: tuple " << tuple.size() << " vs schema " << arity();
+  data_.insert(data_.end(), tuple.begin(), tuple.end());
+}
+
+void Relation::SortAndDedup() { SortRows(data_, arity()); }
+
+bool Relation::IsSortedUnique() const {
+  const int k = arity();
+  if (k == 0) return true;
+  const uint64_t rows = size();
+  for (uint64_t i = 1; i < rows; ++i) {
+    const Value* a = data_.data() + (i - 1) * k;
+    const Value* b = data_.data() + i * k;
+    if (!std::lexicographical_compare(a, a + k, b, b + k)) return false;
+  }
+  return true;
+}
+
+Relation Relation::PermuteColumns(const Schema& new_schema,
+                                  const std::vector<int>& perm) const {
+  ADJ_CHECK(new_schema.arity() == arity());
+  ADJ_CHECK(static_cast<int>(perm.size()) == arity());
+  Relation out(new_schema);
+  out.Reserve(size());
+  const int k = arity();
+  std::vector<Value> tmp(k);
+  for (uint64_t r = 0; r < size(); ++r) {
+    const Value* row = data_.data() + r * k;
+    for (int i = 0; i < k; ++i) tmp[i] = row[perm[i]];
+    out.Append(tmp);
+  }
+  return out;
+}
+
+std::vector<Value> Relation::DistinctColumn(int col) const {
+  std::vector<Value> vals;
+  vals.reserve(size());
+  const int k = arity();
+  for (uint64_t r = 0; r < size(); ++r) vals.push_back(data_[r * k + col]);
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  return vals;
+}
+
+Relation Relation::SemiJoinFilter(int col,
+                                  const std::vector<Value>& keep) const {
+  Relation out(schema_);
+  const int k = arity();
+  for (uint64_t r = 0; r < size(); ++r) {
+    Value v = data_[r * k + col];
+    if (std::binary_search(keep.begin(), keep.end(), v)) {
+      out.Append(Row(r));
+    }
+  }
+  return out;
+}
+
+std::string Relation::ToString(uint64_t max_rows) const {
+  std::string out = schema_.ToString() + " [" + std::to_string(size()) + "] {";
+  const uint64_t n = std::min<uint64_t>(size(), max_rows);
+  for (uint64_t r = 0; r < n; ++r) {
+    out += r == 0 ? "(" : ", (";
+    for (int c = 0; c < arity(); ++c) {
+      if (c > 0) out += ",";
+      out += std::to_string(At(r, c));
+    }
+    out += ")";
+  }
+  if (size() > n) out += ", ...";
+  out += "}";
+  return out;
+}
+
+}  // namespace adj::storage

@@ -1,0 +1,76 @@
+#ifndef ADJ_STORAGE_RELATION_H_
+#define ADJ_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace adj::storage {
+
+/// A relation: a set of fixed-arity tuples stored row-major in one flat
+/// vector. This is the unit of storage, shuffling, and trie building.
+///
+/// Invariants are *not* enforced on append; call SortAndDedup() to put
+/// the relation into the canonical (lexicographically sorted, unique)
+/// state the trie builder requires.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  int arity() const { return schema_.arity(); }
+  uint64_t size() const {
+    return arity() == 0 ? (data_.empty() ? 0 : 1)
+                        : data_.size() / static_cast<uint64_t>(arity());
+  }
+  bool empty() const { return data_.empty(); }
+
+  /// Bytes of tuple payload (what shuffling transmits).
+  uint64_t SizeBytes() const { return data_.size() * sizeof(Value); }
+
+  /// Row accessor: the i-th tuple as a span of `arity` values.
+  std::span<const Value> Row(uint64_t i) const {
+    return {data_.data() + i * arity(), static_cast<size_t>(arity())};
+  }
+  Value At(uint64_t row, int col) const { return data_[row * arity() + col]; }
+
+  void Reserve(uint64_t rows) { data_.reserve(rows * arity()); }
+  void Append(std::span<const Value> tuple);
+  void Append(std::initializer_list<Value> tuple) {
+    Append(std::span<const Value>(tuple.begin(), tuple.size()));
+  }
+
+  /// Lexicographic sort + duplicate elimination (set semantics).
+  void SortAndDedup();
+  bool IsSortedUnique() const;
+
+  /// New relation with columns permuted: column i of the result is
+  /// column perm[i] of this relation, under schema `new_schema`.
+  Relation PermuteColumns(const Schema& new_schema,
+                          const std::vector<int>& perm) const;
+
+  /// Distinct values of column `col` (sorted ascending).
+  std::vector<Value> DistinctColumn(int col) const;
+
+  /// Keep only rows whose column `col` value appears in `keep`
+  /// (`keep` must be sorted). This is the semijoin filter used by the
+  /// distributed sampler's database-reduction step.
+  Relation SemiJoinFilter(int col, const std::vector<Value>& keep) const;
+
+  const std::vector<Value>& raw() const { return data_; }
+  std::vector<Value>& mutable_raw() { return data_; }
+
+  std::string ToString(uint64_t max_rows = 16) const;
+
+ private:
+  Schema schema_;
+  std::vector<Value> data_;
+};
+
+}  // namespace adj::storage
+
+#endif  // ADJ_STORAGE_RELATION_H_

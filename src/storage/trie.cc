@@ -1,0 +1,100 @@
+#include "storage/trie.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace adj::storage {
+
+Trie Trie::Build(const Relation& rel) {
+  ADJ_CHECK(rel.IsSortedUnique()) << "Trie::Build requires sorted+dedup input";
+  Trie trie;
+  const int k = rel.arity();
+  if (k == 0) return trie;
+  trie.levels_.resize(k);
+  const uint64_t rows = rel.size();
+  if (rows == 0) {
+    for (int l = 0; l + 1 < k; ++l) trie.levels_[l].child_begin = {0};
+    return trie;
+  }
+
+  // Single pass over sorted rows: a row opens new nodes at every level
+  // at or below the first column where it differs from the previous row.
+  for (uint64_t r = 0; r < rows; ++r) {
+    std::span<const Value> row = rel.Row(r);
+    int diff = 0;
+    if (r > 0) {
+      std::span<const Value> prev = rel.Row(r - 1);
+      while (diff < k && prev[diff] == row[diff]) ++diff;
+    }
+    for (int l = diff; l < k; ++l) {
+      Level& level = trie.levels_[l];
+      if (l + 1 < k) {
+        // This node's children start at the current end of level l+1.
+        level.child_begin.push_back(
+            static_cast<uint32_t>(trie.levels_[l + 1].values.size()));
+      }
+      level.values.push_back(row[l]);
+    }
+  }
+  // Close the child ranges with one-past-the-end sentinels.
+  for (int l = 0; l + 1 < k; ++l) {
+    trie.levels_[l].child_begin.push_back(
+        static_cast<uint32_t>(trie.levels_[l + 1].values.size()));
+  }
+  return trie;
+}
+
+uint64_t Trie::StorageValues() const {
+  uint64_t total = 0;
+  for (const Level& level : levels_) {
+    total += level.values.size() + level.child_begin.size();
+  }
+  return total;
+}
+
+uint32_t Trie::SeekInRange(int level, Range r, Value v) const {
+  const std::vector<Value>& vals = levels_[level].values;
+  uint32_t lo = r.lo;
+  uint32_t hi = r.hi;
+  if (lo >= hi || vals[lo] >= v) return lo;
+  // Galloping phase: double the step from lo until we overshoot.
+  uint32_t step = 1;
+  uint32_t prev = lo;
+  uint32_t cur = lo + 1;
+  while (cur < hi && vals[cur] < v) {
+    prev = cur;
+    step <<= 1;
+    cur = (step > hi - lo) ? hi : lo + step;
+  }
+  // Binary search in (prev, cur].
+  uint32_t a = prev + 1, b = std::min(cur + 1, hi);
+  while (a < b) {
+    uint32_t mid = a + (b - a) / 2;
+    if (vals[mid] < v) {
+      a = mid + 1;
+    } else {
+      b = mid;
+    }
+  }
+  return a;
+}
+
+uint32_t Trie::FindInRange(int level, Range r, Value v) const {
+  uint32_t idx = SeekInRange(level, r, v);
+  if (idx < r.hi && levels_[level].values[idx] == v) return idx;
+  return r.hi;
+}
+
+std::string Trie::ToString() const {
+  std::string out = "Trie{";
+  for (int l = 0; l < arity(); ++l) {
+    if (l > 0) out += "; ";
+    out += "L" + std::to_string(l) + "[" +
+           std::to_string(levels_[l].values.size()) + "]";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace adj::storage

@@ -1,0 +1,95 @@
+#ifndef ADJ_STORAGE_TRIE_H_
+#define ADJ_STORAGE_TRIE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace adj::storage {
+
+/// Sorted-array trie over a relation, stored level by level in CSR
+/// (nested offsets) form — the layout Leapfrog TrieJoin iterates over
+/// and the unit the Merge HCube variant ships pre-built ("a trie ...
+/// can be implemented using three arrays", Sec. V).
+///
+/// Level l holds the distinct values of column l under each distinct
+/// prefix of columns 0..l-1, concatenated in prefix order. For
+/// l < arity-1, child_begin(l) maps each level-l entry to its range of
+/// children in level l+1.
+///
+/// A "node" at level l is identified by its index into values(l); a
+/// set of siblings is a half-open index range [lo, hi).
+class Trie {
+ public:
+  /// Range of sibling indexes within one level.
+  struct Range {
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    uint32_t size() const { return hi - lo; }
+    bool empty() const { return lo >= hi; }
+  };
+
+  Trie() = default;
+
+  /// Builds from `rel`, which must be sorted and duplicate-free
+  /// (Relation::SortAndDedup). O(rows * arity).
+  static Trie Build(const Relation& rel);
+
+  int arity() const { return static_cast<int>(levels_.size()); }
+  bool empty() const { return arity() == 0 || levels_[0].values.empty(); }
+
+  /// Number of tuples represented (size of the deepest level).
+  uint64_t NumTuples() const {
+    return levels_.empty() ? 0 : levels_.back().values.size();
+  }
+
+  /// Total values stored across all levels ("three arrays" payload).
+  uint64_t StorageValues() const;
+
+  std::span<const Value> values(int level) const {
+    return levels_[level].values;
+  }
+
+  /// Sibling range of the root level.
+  Range RootRange() const {
+    return {0, static_cast<uint32_t>(levels_.empty()
+                                         ? 0
+                                         : levels_[0].values.size())};
+  }
+
+  /// Children of entry `idx` of `level` as a range in level+1.
+  Range ChildRange(int level, uint32_t idx) const {
+    const auto& begin = levels_[level].child_begin;
+    return {begin[idx], begin[idx + 1]};
+  }
+
+  Value ValueAt(int level, uint32_t idx) const {
+    return levels_[level].values[idx];
+  }
+
+  /// First index in [r.lo, r.hi) whose value is >= v, or r.hi if none.
+  /// Galloping (exponential) search: O(log distance) — this is the
+  /// "seek" primitive of Leapfrog and the probe the beta calibration
+  /// measures.
+  uint32_t SeekInRange(int level, Range r, Value v) const;
+
+  /// Index of exactly `v` in [r.lo, r.hi), or r.hi if absent.
+  uint32_t FindInRange(int level, Range r, Value v) const;
+
+  std::string ToString() const;
+
+ private:
+  struct Level {
+    std::vector<Value> values;
+    // Size values.size()+1; absent (empty) for the deepest level.
+    std::vector<uint32_t> child_begin;
+  };
+  std::vector<Level> levels_;
+};
+
+}  // namespace adj::storage
+
+#endif  // ADJ_STORAGE_TRIE_H_

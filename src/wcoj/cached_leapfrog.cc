@@ -1,0 +1,24 @@
+#include "wcoj/cached_leapfrog.h"
+
+namespace adj::wcoj {
+
+StatusOr<CachedJoinResult> CachedLeapfrogJoin(
+    const std::vector<JoinInput>& inputs, const query::AttributeOrder& order,
+    uint64_t cache_capacity_values, JoinStats* stats,
+    const JoinLimits& limits) {
+  IntersectionCache cache(cache_capacity_values);
+  JoinStats local;
+  StatusOr<uint64_t> count = LeapfrogJoin(inputs, order, /*emit=*/nullptr,
+                                          &local, limits, /*first_value=*/{},
+                                          &cache);
+  if (stats != nullptr) stats->Merge(local);
+  if (!count.ok()) return count.status();
+  CachedJoinResult result;
+  result.count = *count;
+  result.cache_hits = local.cache_hits;
+  result.cache_misses = local.cache_misses;
+  result.cache_stored_values = cache.stored_values();
+  return result;
+}
+
+}  // namespace adj::wcoj

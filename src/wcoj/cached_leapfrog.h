@@ -1,0 +1,29 @@
+#ifndef ADJ_WCOJ_CACHED_LEAPFROG_H_
+#define ADJ_WCOJ_CACHED_LEAPFROG_H_
+
+#include "wcoj/leapfrog.h"
+
+namespace adj::wcoj {
+
+/// CacheTrieJoin-style Leapfrog (the HCubeJ+Cache baseline of
+/// Sec. VII): identical join semantics, but per-level intersection
+/// results are memoized in an IntersectionCache whose capacity is
+/// whatever memory HCube storage left over. On repetitive sibling
+/// ranges (heavy-hitter vertices) this removes redundant
+/// intersections; with a starved cache it degenerates to plain
+/// Leapfrog — exactly the behaviour the paper reports on LJ/OK.
+struct CachedJoinResult {
+  uint64_t count = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_stored_values = 0;
+};
+
+StatusOr<CachedJoinResult> CachedLeapfrogJoin(
+    const std::vector<JoinInput>& inputs, const query::AttributeOrder& order,
+    uint64_t cache_capacity_values, JoinStats* stats,
+    const JoinLimits& limits = {});
+
+}  // namespace adj::wcoj
+
+#endif  // ADJ_WCOJ_CACHED_LEAPFROG_H_

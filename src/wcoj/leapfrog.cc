@@ -1,0 +1,360 @@
+#include "wcoj/leapfrog.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace adj::wcoj {
+
+void JoinStats::Merge(const JoinStats& other) {
+  if (tuples_at_level.size() < other.tuples_at_level.size()) {
+    tuples_at_level.resize(other.tuples_at_level.size(), 0);
+  }
+  for (size_t i = 0; i < other.tuples_at_level.size(); ++i) {
+    tuples_at_level[i] += other.tuples_at_level[i];
+  }
+  seeks += other.seeks;
+  extensions += other.extensions;
+  seconds += other.seconds;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+}
+
+const IntersectionCache::Entry* IntersectionCache::Lookup(uint64_t key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void IntersectionCache::Insert(uint64_t key, Entry entry) {
+  const uint64_t cost = entry.vals.size() + entry.idxs.size();
+  if (stored_values_ + cost > capacity_) return;  // cache full: skip
+  stored_values_ += cost;
+  map_.emplace(key, std::move(entry));
+}
+
+void IntersectionCache::Clear() {
+  map_.clear();
+  stored_values_ = 0;
+}
+
+namespace {
+
+using storage::Trie;
+
+/// One (input, level) pair participating at an order position.
+struct Participant {
+  int input;  // index into inputs
+  int level;  // trie level of this attribute within the input
+};
+
+class Executor {
+ public:
+  Executor(const std::vector<JoinInput>& inputs,
+           const query::AttributeOrder& order, const EmitFn* emit,
+           JoinStats* stats, const JoinLimits& limits,
+           std::optional<Value> first_value, IntersectionCache* cache)
+      : inputs_(inputs),
+        order_(order),
+        emit_(emit),
+        stats_(stats),
+        limits_(limits),
+        first_value_(first_value),
+        cache_(cache) {}
+
+  StatusOr<uint64_t> Run() {
+    const int n = static_cast<int>(order_.size());
+    participants_.assign(n, {});
+    for (int r = 0; r < static_cast<int>(inputs_.size()); ++r) {
+      const JoinInput& in = inputs_[r];
+      ADJ_CHECK(in.trie != nullptr);
+      ADJ_CHECK(static_cast<int>(in.attrs.size()) == in.trie->arity());
+      int prev_pos = -1;
+      for (int l = 0; l < static_cast<int>(in.attrs.size()); ++l) {
+        auto it = std::find(order_.begin(), order_.end(), in.attrs[l]);
+        if (it == order_.end()) {
+          return Status::InvalidArgument(
+              "input attribute missing from attribute order");
+        }
+        const int pos = static_cast<int>(it - order_.begin());
+        if (pos <= prev_pos) {
+          return Status::InvalidArgument(
+              "input trie levels not aligned with attribute order");
+        }
+        prev_pos = pos;
+        participants_[pos].push_back({r, l});
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      if (participants_[i].empty()) {
+        return Status::InvalidArgument(
+            "attribute covered by no input (cartesian product)");
+      }
+    }
+    if (stats_ != nullptr && stats_->tuples_at_level.size() < size_t(n)) {
+      stats_->tuples_at_level.resize(n, 0);
+    }
+    indexes_.assign(inputs_.size(), {});
+    for (size_t r = 0; r < inputs_.size(); ++r) {
+      indexes_[r].assign(inputs_[r].attrs.size(), 0);
+    }
+    binding_.assign(n, 0);
+    timer_.Restart();
+    Status st = Descend(0);
+    if (stats_ != nullptr) stats_->seconds += timer_.Seconds();
+    if (!st.ok()) return st;
+    return count_;
+  }
+
+ private:
+  /// Sibling range of participant p at order position i, derived from
+  /// its parent level's current index.
+  Trie::Range RangeOf(const Participant& p) const {
+    const Trie& trie = *inputs_[p.input].trie;
+    if (p.level == 0) return trie.RootRange();
+    return trie.ChildRange(p.level - 1, indexes_[p.input][p.level - 1]);
+  }
+
+  Status CheckLimits() {
+    if (extensions_ > limits_.max_extensions) {
+      return Status::ResourceExhausted("join exceeded extension budget");
+    }
+    if ((extensions_ & 0xFFF) == 0 && timer_.Seconds() > limits_.max_seconds) {
+      return Status::DeadlineExceeded("join exceeded time budget");
+    }
+    return Status::OK();
+  }
+
+  /// Classic Leapfrog intersection over the participant ranges at
+  /// position i, invoking Step for every common value.
+  Status Descend(int i) {
+    const std::vector<Participant>& parts = participants_[i];
+    const int k = static_cast<int>(parts.size());
+
+    // Materialize ranges; bail out on any empty one.
+    std::vector<Trie::Range> ranges(k);
+    for (int j = 0; j < k; ++j) {
+      ranges[j] = RangeOf(parts[j]);
+      if (ranges[j].empty()) return Status::OK();
+    }
+
+    if (cache_ != nullptr) return DescendCached(i, parts, ranges);
+
+    if (i == 0 && first_value_.has_value()) {
+      // Sampler mode: pin order[0] to *first_value_.
+      const Value v = *first_value_;
+      for (int j = 0; j < k; ++j) {
+        const Trie& trie = *inputs_[parts[j].input].trie;
+        uint32_t idx = trie.FindInRange(parts[j].level, ranges[j], v);
+        if (stats_ != nullptr) ++stats_->seeks;
+        if (idx == ranges[j].hi) return Status::OK();
+        indexes_[parts[j].input][parts[j].level] = idx;
+      }
+      return Emit(i, v);
+    }
+
+    if (k == 1) {
+      // Single participant: every sibling value extends the binding.
+      const Participant& part = parts[0];
+      const Trie& trie = *inputs_[part.input].trie;
+      for (uint32_t idx = ranges[0].lo; idx < ranges[0].hi; ++idx) {
+        indexes_[part.input][part.level] = idx;
+        ADJ_RETURN_IF_ERROR(Emit(i, trie.ValueAt(part.level, idx)));
+      }
+      return Status::OK();
+    }
+
+    std::vector<uint32_t> cursor(k);
+    for (int j = 0; j < k; ++j) cursor[j] = ranges[j].lo;
+    // Leapfrog: repeatedly seek the lagging iterators up to the
+    // current maximum until all agree, emit, then advance.
+    Value max_val = 0;
+    for (int j = 0; j < k; ++j) {
+      Value v = inputs_[parts[j].input].trie->ValueAt(parts[j].level,
+                                                      cursor[j]);
+      if (j == 0 || v > max_val) max_val = v;
+    }
+    int j = 0;
+    int agreed = 0;
+    while (true) {
+      const Trie& trie = *inputs_[parts[j].input].trie;
+      Value v = trie.ValueAt(parts[j].level, cursor[j]);
+      if (v < max_val) {
+        // Lagging iterator: seek up to max_val.
+        cursor[j] = trie.SeekInRange(parts[j].level,
+                                     {cursor[j], ranges[j].hi}, max_val);
+        if (stats_ != nullptr) ++stats_->seeks;
+        if (cursor[j] >= ranges[j].hi) return Status::OK();
+        v = trie.ValueAt(parts[j].level, cursor[j]);
+      }
+      if (v > max_val) {
+        max_val = v;
+        agreed = 1;  // j is the only iterator at the new max
+      } else if (++agreed == k) {
+        // All k iterators sit on max_val: a common value.
+        for (int t = 0; t < k; ++t) {
+          indexes_[parts[t].input][parts[t].level] = cursor[t];
+        }
+        ADJ_RETURN_IF_ERROR(Emit(i, max_val));
+        // Advance iterator j past the emitted value.
+        ++cursor[j];
+        if (cursor[j] >= ranges[j].hi) return Status::OK();
+        max_val = trie.ValueAt(parts[j].level, cursor[j]);
+        agreed = 1;
+      }
+      j = (j + 1) % k;
+    }
+  }
+
+  /// Cached variant: compute (or reuse) the full intersection at this
+  /// position, then iterate it.
+  Status DescendCached(int i, const std::vector<Participant>& parts,
+                       const std::vector<Trie::Range>& ranges) {
+    const int k = static_cast<int>(parts.size());
+    uint64_t key = HashCombine(0x9E3779B97F4A7C15ULL, uint64_t(i));
+    for (int j = 0; j < k; ++j) {
+      key = HashCombine(key, (uint64_t(parts[j].input) << 48) ^
+                                 (uint64_t(ranges[j].lo) << 24) ^
+                                 uint64_t(ranges[j].hi));
+    }
+    const IntersectionCache::Entry* entry = cache_->Lookup(key);
+    IntersectionCache::Entry fresh;
+    if (entry == nullptr) {
+      if (stats_ != nullptr) ++stats_->cache_misses;
+      ADJ_RETURN_IF_ERROR(ComputeIntersection(parts, ranges, &fresh));
+      cache_->Insert(key, fresh);
+      entry = &fresh;
+    } else if (stats_ != nullptr) {
+      ++stats_->cache_hits;
+    }
+    const size_t num_vals = entry->vals.size();
+    for (size_t t = 0; t < num_vals; ++t) {
+      Value v = entry->vals[t];
+      if (i == 0 && first_value_.has_value() && v != *first_value_) continue;
+      for (int j = 0; j < k; ++j) {
+        indexes_[parts[j].input][parts[j].level] = entry->idxs[t * k + j];
+      }
+      // Recursive Emit calls may insert new cache entries, but
+      // unordered_map growth preserves element addresses, so `entry`
+      // stays valid (the cache never evicts).
+      ADJ_RETURN_IF_ERROR(Emit(i, v));
+    }
+    return Status::OK();
+  }
+
+  Status ComputeIntersection(const std::vector<Participant>& parts,
+                             const std::vector<Trie::Range>& ranges,
+                             IntersectionCache::Entry* out) {
+    const int k = static_cast<int>(parts.size());
+    if (k == 1) {
+      const Participant& part = parts[0];
+      const Trie& trie = *inputs_[part.input].trie;
+      for (uint32_t idx = ranges[0].lo; idx < ranges[0].hi; ++idx) {
+        out->vals.push_back(trie.ValueAt(part.level, idx));
+        out->idxs.push_back(idx);
+      }
+      return Status::OK();
+    }
+    std::vector<uint32_t> cursor(k);
+    for (int j = 0; j < k; ++j) cursor[j] = ranges[j].lo;
+    Value max_val = 0;
+    for (int j = 0; j < k; ++j) {
+      Value v = inputs_[parts[j].input].trie->ValueAt(parts[j].level,
+                                                      cursor[j]);
+      if (j == 0 || v > max_val) max_val = v;
+    }
+    int j = 0;
+    int agreed = 0;
+    while (true) {
+      const Trie& trie = *inputs_[parts[j].input].trie;
+      Value v = trie.ValueAt(parts[j].level, cursor[j]);
+      if (v < max_val) {
+        cursor[j] = trie.SeekInRange(parts[j].level,
+                                     {cursor[j], ranges[j].hi}, max_val);
+        if (stats_ != nullptr) ++stats_->seeks;
+        if (cursor[j] >= ranges[j].hi) return Status::OK();
+        v = trie.ValueAt(parts[j].level, cursor[j]);
+      }
+      if (v > max_val) {
+        max_val = v;
+        agreed = 1;
+      } else if (++agreed == k) {
+        out->vals.push_back(max_val);
+        for (int t = 0; t < k; ++t) out->idxs.push_back(cursor[t]);
+        ++cursor[j];
+        if (cursor[j] >= ranges[j].hi) return Status::OK();
+        max_val = trie.ValueAt(parts[j].level, cursor[j]);
+        agreed = 1;
+      }
+      j = (j + 1) % k;
+    }
+  }
+
+  /// Records the extension to value v at position i and recurses (or
+  /// emits a full result tuple at the deepest position).
+  Status Emit(int i, Value v) {
+    binding_[i] = v;
+    ++extensions_;
+    if (stats_ != nullptr) {
+      ++stats_->extensions;
+      ++stats_->tuples_at_level[i];
+    }
+    ADJ_RETURN_IF_ERROR(CheckLimits());
+    if (i + 1 == static_cast<int>(order_.size())) {
+      ++count_;
+      if (emit_ != nullptr && *emit_) {
+        (*emit_)(std::span<const Value>(binding_.data(), binding_.size()));
+      }
+      return Status::OK();
+    }
+    return Descend(i + 1);
+  }
+
+  const std::vector<JoinInput>& inputs_;
+  const query::AttributeOrder& order_;
+  const EmitFn* emit_;
+  JoinStats* stats_;
+  const JoinLimits& limits_;
+  std::optional<Value> first_value_;
+  IntersectionCache* cache_;
+
+  std::vector<std::vector<Participant>> participants_;  // per order pos
+  std::vector<std::vector<uint32_t>> indexes_;  // per input per level
+  std::vector<Value> binding_;
+  uint64_t count_ = 0;
+  uint64_t extensions_ = 0;
+  WallTimer timer_;
+};
+
+}  // namespace
+
+StatusOr<uint64_t> LeapfrogJoin(const std::vector<JoinInput>& inputs,
+                                const query::AttributeOrder& order,
+                                const EmitFn* emit, JoinStats* stats,
+                                const JoinLimits& limits,
+                                std::optional<Value> first_value,
+                                IntersectionCache* cache) {
+  if (inputs.empty()) return Status::InvalidArgument("no join inputs");
+  Executor exec(inputs, order, emit, stats, limits, first_value, cache);
+  return exec.Run();
+}
+
+StatusOr<PreparedRelation> PrepareRelation(
+    const storage::Relation& base, const std::vector<AttrId>& atom_attrs,
+    const std::vector<int>& rank) {
+  if (base.arity() != static_cast<int>(atom_attrs.size())) {
+    return Status::InvalidArgument("atom arity mismatch in PrepareRelation");
+  }
+  storage::Schema bound(atom_attrs);
+  std::vector<int> perm;
+  storage::Schema sorted = bound.SortedBy(rank, &perm);
+  PreparedRelation out;
+  out.rel = base.PermuteColumns(sorted, perm);
+  out.rel.SortAndDedup();
+  out.trie = storage::Trie::Build(out.rel);
+  out.attrs = sorted.attrs();
+  return out;
+}
+
+}  // namespace adj::wcoj

@@ -1,0 +1,118 @@
+#ifndef ADJ_WCOJ_LEAPFROG_H_
+#define ADJ_WCOJ_LEAPFROG_H_
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "query/attribute_order.h"
+#include "storage/relation.h"
+#include "storage/trie.h"
+
+namespace adj::wcoj {
+
+/// One trie participating in a Leapfrog join. `attrs[l]` is the query
+/// attribute indexed by trie level l; the attrs must appear in the same
+/// relative order as in the join's global attribute order.
+struct JoinInput {
+  const storage::Trie* trie = nullptr;
+  std::vector<AttrId> attrs;
+};
+
+/// Per-run counters. `tuples_at_level[i]` is |T_{i+1}| of the paper:
+/// the number of partial bindings emitted while extending to the
+/// attribute at order position i. The computation-cost model and the
+/// Fig. 6 / Fig. 8 experiments are built from these.
+struct JoinStats {
+  std::vector<uint64_t> tuples_at_level;
+  uint64_t seeks = 0;
+  uint64_t extensions = 0;  // == sum(tuples_at_level)
+  double seconds = 0.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+
+  void Merge(const JoinStats& other);
+};
+
+/// Abort thresholds emulating the paper's failure modes (memory
+/// overflow / 12-hour timeout). `max_extensions` bounds Leapfrog's
+/// total work (it streams results, so this is a time-style budget);
+/// `max_materialized_rows` bounds engines that materialize
+/// intermediates (binary join, BigJoin) — the real out-of-memory
+/// mode of the paper's multi-round baselines.
+struct JoinLimits {
+  uint64_t max_extensions = std::numeric_limits<uint64_t>::max();
+  double max_seconds = std::numeric_limits<double>::infinity();
+  uint64_t max_materialized_rows = std::numeric_limits<uint64_t>::max();
+};
+
+/// Optional memoization of per-level intersections — the CacheTrieJoin
+/// mechanism behind the HCubeJ+Cache baseline. Entries are keyed by
+/// the exact set of sibling ranges being intersected; capacity is a
+/// value budget shared across levels, mimicking the fixed cache memory
+/// that HCube storage competes with.
+class IntersectionCache {
+ public:
+  explicit IntersectionCache(uint64_t capacity_values)
+      : capacity_(capacity_values) {}
+
+  struct Entry {
+    std::vector<Value> vals;       // intersection result
+    std::vector<uint32_t> idxs;    // per value: index in each input range
+  };
+
+  const Entry* Lookup(uint64_t key) const;
+  void Insert(uint64_t key, Entry entry);
+
+  uint64_t stored_values() const { return stored_values_; }
+  uint64_t capacity() const { return capacity_; }
+  void Clear();
+
+ private:
+  uint64_t capacity_;
+  uint64_t stored_values_ = 0;
+  std::unordered_map<uint64_t, Entry> map_;
+};
+
+/// Callback receiving each result tuple, in attribute-order layout
+/// (element i = value of order[i]).
+using EmitFn = std::function<void(std::span<const Value>)>;
+
+/// Leapfrog TrieJoin (Alg. 1): evaluates the join of `inputs` under
+/// `order`, emitting result tuples through `emit` (pass nullptr to
+/// count only). `first_value`, when set, pins the first attribute to
+/// one value — the sampler's "Leapfrog starting from A with the
+/// attribute fixed as a".
+///
+/// Returns the number of result tuples, or ResourceExhausted /
+/// DeadlineExceeded when a limit trips.
+StatusOr<uint64_t> LeapfrogJoin(const std::vector<JoinInput>& inputs,
+                                const query::AttributeOrder& order,
+                                const EmitFn* emit, JoinStats* stats,
+                                const JoinLimits& limits = {},
+                                std::optional<Value> first_value = {},
+                                IntersectionCache* cache = nullptr);
+
+/// A relation re-columned and indexed for a particular attribute
+/// order: columns permuted so attribute ranks ascend, then sorted,
+/// deduplicated, and trie-built.
+struct PreparedRelation {
+  storage::Relation rel;
+  storage::Trie trie;
+  std::vector<AttrId> attrs;  // attribute of each trie level
+};
+
+/// Binds `base` (the atom's stored relation) to `atom_attrs` and
+/// prepares it for a join whose attribute ranks are `rank`
+/// (rank[attr] = position in the global order).
+StatusOr<PreparedRelation> PrepareRelation(const storage::Relation& base,
+                                           const std::vector<AttrId>& atom_attrs,
+                                           const std::vector<int>& rank);
+
+}  // namespace adj::wcoj
+
+#endif  // ADJ_WCOJ_LEAPFROG_H_

@@ -1,0 +1,33 @@
+#ifndef ADJ_WCOJ_NAIVE_JOIN_H_
+#define ADJ_WCOJ_NAIVE_JOIN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "storage/relation.h"
+
+namespace adj::wcoj {
+
+/// Reference join evaluator: left-deep sequence of in-memory hash
+/// joins in atom order, materializing every intermediate result. Used
+/// as the test oracle for Leapfrog/HCubeJ/ADJ equivalence tests and as
+/// the local join of the binary-join (SparkSQL-like) baseline.
+///
+/// The result schema is attrs(Q) in ascending attribute-id order.
+/// Fails with ResourceExhausted if an intermediate result would exceed
+/// `row_limit` rows.
+StatusOr<storage::Relation> NaiveJoin(const query::Query& q,
+                                      const storage::Catalog& db,
+                                      uint64_t row_limit = UINT64_MAX);
+
+/// Hash-joins two materialized relations on their shared attributes.
+/// Output schema: union of attributes, ascending by id.
+StatusOr<storage::Relation> HashJoin(const storage::Relation& left,
+                                     const storage::Relation& right,
+                                     uint64_t row_limit = UINT64_MAX);
+
+}  // namespace adj::wcoj
+
+#endif  // ADJ_WCOJ_NAIVE_JOIN_H_

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "dataset/builtin.h"
+#include "dataset/generators.h"
+
+namespace adj::dataset {
+namespace {
+
+TEST(GeneratorsTest, ErdosRenyiBasicProperties) {
+  Rng rng(1);
+  storage::Relation r = ErdosRenyi(100, 500, rng);
+  EXPECT_TRUE(r.IsSortedUnique());
+  EXPECT_GT(r.size(), 400u);  // a few duplicates may collapse
+  EXPECT_LE(r.size(), 500u);
+  for (uint64_t i = 0; i < r.size(); ++i) {
+    EXPECT_LT(r.At(i, 0), 100u);
+    EXPECT_LT(r.At(i, 1), 100u);
+    EXPECT_NE(r.At(i, 0), r.At(i, 1));  // no self loops
+  }
+}
+
+TEST(GeneratorsTest, GeneratorsAreDeterministic) {
+  Rng a(7), b(7);
+  storage::Relation ra = ErdosRenyi(50, 200, a);
+  storage::Relation rb = ErdosRenyi(50, 200, b);
+  EXPECT_EQ(ra.raw(), rb.raw());
+}
+
+TEST(GeneratorsTest, RmatSkewedDegrees) {
+  Rng rng(3);
+  RmatParams params;
+  params.scale = 10;
+  storage::Relation r = Rmat(params, 20000, rng);
+  EXPECT_TRUE(r.IsSortedUnique());
+  // Heavy tail: the max out-degree should far exceed the average.
+  std::map<Value, int> degree;
+  for (uint64_t i = 0; i < r.size(); ++i) ++degree[r.At(i, 0)];
+  int max_deg = 0;
+  for (const auto& [v, d] : degree) max_deg = std::max(max_deg, d);
+  const double avg = double(r.size()) / double(degree.size());
+  EXPECT_GT(max_deg, 10 * avg);
+}
+
+TEST(GeneratorsTest, ZipfGraphRespectsDomain) {
+  Rng rng(5);
+  storage::Relation r = ZipfGraph(64, 1000, 0.9, rng);
+  for (uint64_t i = 0; i < r.size(); ++i) {
+    EXPECT_LT(r.At(i, 0), 64u);
+    EXPECT_LT(r.At(i, 1), 64u);
+  }
+}
+
+TEST(GeneratorsTest, CompleteGraphSize) {
+  storage::Relation r = CompleteGraph(6);
+  EXPECT_EQ(r.size(), 30u);  // n(n-1) directed edges
+  EXPECT_TRUE(r.IsSortedUnique());
+}
+
+TEST(GeneratorsTest, CycleGraph) {
+  storage::Relation r = CycleGraph(5);
+  EXPECT_EQ(r.size(), 5u);
+}
+
+TEST(GeneratorsTest, PathGraph) {
+  storage::Relation r = PathGraph(5);
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.At(0, 0), 0u);
+  EXPECT_EQ(r.At(3, 1), 4u);
+}
+
+TEST(GeneratorsTest, SymmetrizeDoublesDirectedEdges) {
+  storage::Relation path = PathGraph(4);
+  storage::Relation sym = Symmetrize(path);
+  EXPECT_EQ(sym.size(), 6u);  // 3 edges both ways, no overlaps
+}
+
+TEST(BuiltinTest, AllSpecsGenerate) {
+  for (const BuiltinSpec& spec : BuiltinSpecs()) {
+    auto rel = MakeBuiltin(spec.name, 0.05);
+    ASSERT_TRUE(rel.ok()) << spec.name;
+    EXPECT_GT(rel->size(), 100u) << spec.name;
+    EXPECT_TRUE(rel->IsSortedUnique());
+  }
+}
+
+TEST(BuiltinTest, SizeOrderingMatchesPaper) {
+  // WB < AS < WT < LJ < EN < OK (Table I ordering).
+  uint64_t prev = 0;
+  for (const BuiltinSpec& spec : BuiltinSpecs()) {
+    auto rel = MakeBuiltin(spec.name, 0.2);
+    ASSERT_TRUE(rel.ok());
+    EXPECT_GT(rel->size(), prev) << spec.name;
+    prev = rel->size();
+  }
+}
+
+TEST(BuiltinTest, UnknownNameFails) {
+  EXPECT_FALSE(MakeBuiltin("NOPE").ok());
+}
+
+TEST(BuiltinTest, DatasetsAreReproducible) {
+  auto a = MakeBuiltin("WB", 0.05);
+  auto b = MakeBuiltin("WB", 0.05);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->raw(), b->raw());
+}
+
+TEST(BuiltinTest, DescribeMentionsNameAndSize) {
+  auto rel = MakeBuiltin("WB", 0.05);
+  ASSERT_TRUE(rel.ok());
+  std::string d = DescribeDataset("WB", *rel);
+  EXPECT_NE(d.find("WB"), std::string::npos);
+  EXPECT_NE(d.find("|R|="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adj::dataset

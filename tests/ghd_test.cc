@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ghd/decomposition.h"
+#include "ghd/fractional_edge_cover.h"
+#include "ghd/simplex.h"
+#include "query/queries.h"
+#include "query/query.h"
+
+namespace adj::ghd {
+namespace {
+
+using query::Query;
+
+TEST(SimplexTest, SolvesTinyLp) {
+  // min x0 + x1  s.t. x0 + x1 >= 1, x0 >= 0.3.
+  LinearProgram lp;
+  lp.c = {1.0, 1.0};
+  lp.a = {{1.0, 1.0}, {1.0, 0.0}};
+  lp.b = {1.0, 0.3};
+  auto sol = SolveMinCover(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 1.0, 1e-6);
+}
+
+TEST(SimplexTest, FractionalOptimum) {
+  // Triangle cover LP: three vars, each pair covers one vertex.
+  LinearProgram lp;
+  lp.c = {1.0, 1.0, 1.0};
+  lp.a = {{1, 0, 1}, {1, 1, 0}, {0, 1, 1}};
+  lp.b = {1.0, 1.0, 1.0};
+  auto sol = SolveMinCover(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 1.5, 1e-6);
+  for (double x : sol->x) EXPECT_NEAR(x, 0.5, 1e-6);
+}
+
+TEST(FecTest, SingleEdge) {
+  auto cover = FractionalEdgeCover(0b11, {0b11});
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(cover->rho, 1.0, 1e-6);
+}
+
+TEST(FecTest, TriangleIsThreeHalves) {
+  auto cover = FractionalEdgeCover(0b111, {0b011, 0b110, 0b101});
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(cover->rho, 1.5, 1e-6);
+}
+
+TEST(FecTest, FourCycleIsTwo) {
+  auto cover = FractionalEdgeCover(0b1111, {0b0011, 0b0110, 0b1100, 0b1001});
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(cover->rho, 2.0, 1e-6);
+}
+
+TEST(FecTest, FourCliqueIsTwo) {
+  auto q = query::MakeBenchmarkQuery(2);
+  query::Hypergraph h(*q);
+  auto cover = FractionalEdgeCover(q->AllAttrs(), h.edges());
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(cover->rho, 2.0, 1e-6);
+}
+
+TEST(FecTest, FiveCliqueIsFiveHalves) {
+  auto q = query::MakeBenchmarkQuery(3);
+  query::Hypergraph h(*q);
+  auto cover = FractionalEdgeCover(q->AllAttrs(), h.edges());
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(cover->rho, 2.5, 1e-6);
+}
+
+TEST(FecTest, UncoveredVertexFails) {
+  EXPECT_FALSE(FractionalEdgeCover(0b111, {0b011}).ok());
+}
+
+TEST(GhdTest, PaperExampleDecomposition) {
+  // Q of Eq. (2): R1(a,b,c), R2(a,d), R3(c,d), R4(b,e), R5(c,e).
+  auto q = Query::Parse("R1(a,b,c) R2(a,d) R3(c,d) R4(b,e) R5(c,e)");
+  ASSERT_TRUE(q.ok());
+  auto d = FindOptimalGhd(*q);
+  ASSERT_TRUE(d.ok());
+  // The paper's T: three bags {R1}, {R2,R3}, {R4,R5}, width 2.
+  EXPECT_EQ(d->num_bags(), 3);
+  EXPECT_NEAR(d->width, 2.0, 1e-6);
+  // One bag must be exactly {R1} (single atom), the others pairs.
+  int singles = 0, pairs = 0;
+  for (const Bag& bag : d->bags) {
+    if (PopCount(bag.atoms) == 1) ++singles;
+    if (PopCount(bag.atoms) == 2) ++pairs;
+  }
+  EXPECT_EQ(singles, 1);
+  EXPECT_EQ(pairs, 2);
+}
+
+TEST(GhdTest, AcyclicQueryGetsSingletonBags) {
+  auto q = Query::Parse("R(a,b) S(b,c) T(c,d)");
+  auto d = FindOptimalGhd(*q);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_bags(), 3);
+  EXPECT_NEAR(d->width, 1.0, 1e-6);
+  for (const Bag& bag : d->bags) EXPECT_TRUE(bag.IsSingleAtom());
+}
+
+TEST(GhdTest, TriangleIsOneBag) {
+  auto q = query::MakeBenchmarkQuery(1);
+  auto d = FindOptimalGhd(*q);
+  ASSERT_TRUE(d.ok());
+  // No grouping of a triangle is acyclic except the single bag.
+  EXPECT_EQ(d->num_bags(), 1);
+  EXPECT_NEAR(d->width, 1.5, 1e-6);
+}
+
+TEST(GhdTest, RunningIntersectionHolds) {
+  for (int qi : {2, 4, 5, 6}) {
+    auto q = query::MakeBenchmarkQuery(qi);
+    auto d = FindOptimalGhd(*q);
+    ASSERT_TRUE(d.ok()) << "Q" << qi;
+    // Every attribute must induce a connected subtree of the join tree.
+    for (int a = 0; a < q->num_attrs(); ++a) {
+      uint32_t with_a = 0;
+      for (int v = 0; v < d->num_bags(); ++v) {
+        if (d->bags[size_t(v)].attrs & (AttrMask(1) << a)) with_a |= 1u << v;
+      }
+      ASSERT_NE(with_a, 0u);
+      // BFS over tree restricted to with_a.
+      uint32_t visited = 1u << LowestBit(with_a);
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        for (int v = 0; v < d->num_bags(); ++v) {
+          if ((with_a & (1u << v)) == 0 || (visited & (1u << v))) continue;
+          for (int u : d->Neighbors(v)) {
+            if (visited & (1u << u)) {
+              visited |= 1u << v;
+              grew = true;
+              break;
+            }
+          }
+        }
+      }
+      EXPECT_EQ(visited, with_a) << "Q" << qi << " attr " << a;
+    }
+  }
+}
+
+TEST(GhdTest, BagsCoverAllAtoms) {
+  for (int qi = 1; qi <= 11; ++qi) {
+    auto q = query::MakeBenchmarkQuery(qi);
+    auto d = FindOptimalGhd(*q);
+    ASSERT_TRUE(d.ok()) << "Q" << qi;
+    AtomMask all = 0;
+    for (const Bag& bag : d->bags) {
+      EXPECT_EQ(all & bag.atoms, 0u) << "bags overlap";
+      all |= bag.atoms;
+    }
+    EXPECT_EQ(all, (AtomMask(1) << q->num_atoms()) - 1);
+  }
+}
+
+TEST(TraversalTest, PathTreeTraversals) {
+  auto q = Query::Parse("R1(a,b,c) R2(a,d) R3(c,d) R4(b,e) R5(c,e)");
+  auto d = FindOptimalGhd(*q);
+  ASSERT_TRUE(d.ok());
+  auto orders = TraversalOrders(*d);
+  // Every traversal keeps a connected prefix.
+  for (const auto& t : orders) {
+    EXPECT_EQ(t.size(), size_t(d->num_bags()));
+  }
+  EXPECT_GE(orders.size(), 2u);
+  // All traversals distinct.
+  auto sorted = orders;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(ValidOrderTest, PaperExampleValidAndInvalid) {
+  auto q = Query::Parse("R1(a,b,c) R2(a,d) R3(c,d) R4(b,e) R5(c,e)");
+  auto d = FindOptimalGhd(*q);
+  ASSERT_TRUE(d.ok());
+  // Sec. III-A: a<b<c<d<e is valid; a<b<e<d<c is invalid.
+  EXPECT_TRUE(IsValidOrder(*d, *q, {0, 1, 2, 3, 4}));
+  EXPECT_FALSE(IsValidOrder(*d, *q, {0, 1, 4, 3, 2}));
+}
+
+TEST(ValidOrderTest, ValidOrdersAreSubsetOfAll) {
+  for (int qi : {4, 5, 6}) {
+    auto q = query::MakeBenchmarkQuery(qi);
+    auto d = FindOptimalGhd(*q);
+    ASSERT_TRUE(d.ok());
+    auto valid = ValidAttributeOrders(*d, *q);
+    ASSERT_FALSE(valid.empty()) << "Q" << qi;
+    auto all = query::AllOrders(q->AllAttrs());
+    EXPECT_LE(valid.size(), all.size());
+    for (const auto& o : valid) {
+      EXPECT_TRUE(IsValidOrder(*d, *q, o)) << "Q" << qi;
+    }
+  }
+}
+
+TEST(ValidOrderTest, SegmentsPartitionOrder) {
+  auto q = Query::Parse("R1(a,b,c) R2(a,d) R3(c,d) R4(b,e) R5(c,e)");
+  auto d = FindOptimalGhd(*q);
+  ASSERT_TRUE(d.ok());
+  auto segs = OrderBagSegments(*d, *q, {0, 1, 2, 3, 4});
+  ASSERT_FALSE(segs.empty());
+  int total = 0;
+  for (int s : segs) total += s;
+  EXPECT_EQ(total, 5);
+}
+
+TEST(ValidOrderTest, SingleBagAcceptsEverything) {
+  auto q = query::MakeBenchmarkQuery(1);
+  auto d = FindOptimalGhd(*q);
+  ASSERT_TRUE(d.ok());
+  for (const auto& o : query::AllOrders(q->AllAttrs())) {
+    EXPECT_TRUE(IsValidOrder(*d, *q, o));
+  }
+}
+
+}  // namespace
+}  // namespace adj::ghd

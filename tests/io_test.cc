@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "dataset/generators.h"
+#include "storage/edge_list_io.h"
+
+namespace adj::storage {
+namespace {
+
+TEST(EdgeListParseTest, BasicParsing) {
+  auto rel = ParseEdgeList("1 2\n3 4\n2 1\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->size(), 3u);
+  EXPECT_TRUE(rel->IsSortedUnique());
+  EXPECT_EQ(rel->At(0, 0), 1u);
+  EXPECT_EQ(rel->At(0, 1), 2u);
+}
+
+TEST(EdgeListParseTest, CommentsAndBlanksIgnored) {
+  auto rel = ParseEdgeList(
+      "# SNAP header\n"
+      "# Nodes: 4 Edges: 2\n"
+      "\n"
+      "1\t2\n"
+      "   \n"
+      "3\t4\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->size(), 2u);
+}
+
+TEST(EdgeListParseTest, TabsAndSpacesBothWork) {
+  auto rel = ParseEdgeList("1\t2\n3 4\n  5   6\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->size(), 3u);
+}
+
+TEST(EdgeListParseTest, SelfLoopsDropped) {
+  auto rel = ParseEdgeList("1 1\n2 3\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->size(), 1u);
+}
+
+TEST(EdgeListParseTest, DuplicatesCollapse) {
+  auto rel = ParseEdgeList("1 2\n1 2\n1 2\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->size(), 1u);
+}
+
+TEST(EdgeListParseTest, MalformedLineFails) {
+  EXPECT_FALSE(ParseEdgeList("1 2\nbogus line\n").ok());
+  EXPECT_FALSE(ParseEdgeList("1\n").ok());
+}
+
+TEST(EdgeListParseTest, OversizedIdFails) {
+  auto rel = ParseEdgeList("99999999999 1\n");
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(EdgeListIoTest, SaveLoadRoundTrip) {
+  Rng rng(5);
+  Relation original = dataset::ErdosRenyi(50, 200, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "adj_io_test.txt").string();
+  ASSERT_TRUE(SaveEdgeList(original, path).ok());
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->raw(), original.raw());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIoTest, MissingFileIsNotFound) {
+  auto rel = LoadEdgeList("/nonexistent/path/graph.txt");
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EdgeListIoTest, SaveRejectsWrongArity) {
+  Relation r(Schema({0, 1, 2}));
+  EXPECT_FALSE(SaveEdgeList(r, "/tmp/adj_io_bad.txt").ok());
+}
+
+}  // namespace
+}  // namespace adj::storage

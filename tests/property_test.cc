@@ -1,0 +1,196 @@
+// Cross-module property suites: randomized invariants that tie the
+// GHD machinery, the share optimizer, and the simplex solver to
+// brute-force oracles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "ghd/decomposition.h"
+#include "ghd/fractional_edge_cover.h"
+#include "ghd/simplex.h"
+#include "optimizer/share_optimizer.h"
+#include "query/queries.h"
+
+namespace adj {
+namespace {
+
+/// Random small hypergraphs: every vertex covered by >= 1 edge.
+query::Hypergraph RandomHypergraph(Rng& rng, int vertices, int edges) {
+  std::vector<AttrMask> masks;
+  AttrMask covered = 0;
+  for (int e = 0; e < edges; ++e) {
+    AttrMask m = 0;
+    const int k = 2 + int(rng.Uniform(2));  // arity 2..3
+    while (PopCount(m) < k) {
+      m |= AttrMask(1) << rng.Uniform(uint64_t(vertices));
+    }
+    covered |= m;
+    masks.push_back(m);
+  }
+  // Patch uncovered vertices into the first edge.
+  for (int v = 0; v < vertices; ++v) {
+    if ((covered & (AttrMask(1) << v)) == 0) masks[0] |= AttrMask(1) << v;
+  }
+  return query::Hypergraph(vertices, masks);
+}
+
+class FecPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FecPropertyTest, CoverIsFeasibleAndTight) {
+  Rng rng(uint64_t(GetParam()) * 7 + 1);
+  query::Hypergraph h = RandomHypergraph(rng, 5, 5);
+  const AttrMask all = (AttrMask(1) << 5) - 1;
+  auto cover = ghd::FractionalEdgeCover(all, h.edges());
+  ASSERT_TRUE(cover.ok());
+  // Feasibility: every vertex covered with total weight >= 1.
+  for (int v = 0; v < 5; ++v) {
+    double w = 0;
+    for (int e = 0; e < h.num_edges(); ++e) {
+      if (h.edge(e) & (AttrMask(1) << v)) w += cover->weights[size_t(e)];
+    }
+    EXPECT_GE(w, 1.0 - 1e-6) << "vertex " << v;
+  }
+  // Objective consistency and bounds: 5 vertices with arity >= 2 edges
+  // never need more than 2.5 (perfect-matching style bound does not
+  // hold in general, but n/2 does for arity-2+ covers... use n).
+  double total = 0;
+  for (double w : cover->weights) {
+    EXPECT_GE(w, -1e-9);
+    total += w;
+  }
+  EXPECT_NEAR(total, cover->rho, 1e-6);
+  EXPECT_GE(cover->rho, 1.0 - 1e-6);
+  EXPECT_LE(cover->rho, 5.0 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FecPropertyTest, ::testing::Range(0, 12));
+
+TEST(FecPropertyTest, IntegerCoverUpperBounds) {
+  // The LP optimum never exceeds any integral cover; greedy integral
+  // covers give a checkable upper bound.
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    query::Hypergraph h = RandomHypergraph(rng, 5, 6);
+    const AttrMask all = (AttrMask(1) << 5) - 1;
+    auto cover = ghd::FractionalEdgeCover(all, h.edges());
+    ASSERT_TRUE(cover.ok());
+    // Greedy set cover.
+    AttrMask left = all;
+    double greedy = 0;
+    while (left != 0) {
+      int best = -1, gain = -1;
+      for (int e = 0; e < h.num_edges(); ++e) {
+        const int g = PopCount(h.edge(e) & left);
+        if (g > gain) {
+          gain = g;
+          best = e;
+        }
+      }
+      left &= ~h.edge(best);
+      greedy += 1.0;
+    }
+    EXPECT_LE(cover->rho, greedy + 1e-6);
+  }
+}
+
+/// Brute-force share optimum over all vectors with prod(p) in
+/// [N, 4N], cross-checked against OptimizeShares.
+class ShareOptPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShareOptPropertyTest, MatchesBruteForce) {
+  Rng rng(uint64_t(GetParam()) * 13 + 5);
+  const int num_attrs = 3;
+  const int n_servers = 4;
+  std::vector<optimizer::ShareInput> rels;
+  const int num_rels = 2 + int(rng.Uniform(3));
+  for (int r = 0; r < num_rels; ++r) {
+    optimizer::ShareInput in;
+    while (PopCount(in.schema) < 2) {
+      in.schema |= AttrMask(1) << rng.Uniform(num_attrs);
+    }
+    in.tuples = 100 + rng.Uniform(100000);
+    in.bytes = in.tuples * 8;
+    rels.push_back(in);
+  }
+  dist::ClusterConfig cfg;
+  cfg.num_servers = n_servers;
+  auto optimized = optimizer::OptimizeShares(rels, num_attrs, cfg);
+  ASSERT_TRUE(optimized.ok());
+
+  // Brute force.
+  double best = 1e300;
+  for (uint32_t p0 = 1; p0 <= 4; ++p0) {
+    for (uint32_t p1 = 1; p1 <= 4; ++p1) {
+      for (uint32_t p2 = 1; p2 <= 4; ++p2) {
+        const uint64_t cubes = uint64_t(p0) * p1 * p2;
+        if (cubes < uint64_t(n_servers) || cubes > 4u * n_servers) continue;
+        dist::ShareVector p{{p0, p1, p2}};
+        best = std::min(best, optimizer::ShareCost(rels, p, n_servers));
+      }
+    }
+  }
+  EXPECT_NEAR(optimizer::ShareCost(rels, *optimized, n_servers), best,
+              best * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShareOptPropertyTest,
+                         ::testing::Range(0, 10));
+
+TEST(GhdPropertyTest, SegmentsConsistentWithValidOrders) {
+  // Every enumerated valid order must be accepted by OrderBagSegments
+  // and its segments must sum to the attribute count.
+  for (int qi : {2, 4, 5, 6, 10}) {
+    auto q = query::MakeBenchmarkQuery(qi);
+    auto d = ghd::FindOptimalGhd(*q);
+    ASSERT_TRUE(d.ok());
+    for (const auto& order : ghd::ValidAttributeOrders(*d, *q)) {
+      std::vector<int> segs = ghd::OrderBagSegments(*d, *q, order);
+      ASSERT_FALSE(segs.empty()) << "Q" << qi;
+      int total = 0;
+      for (int s : segs) total += s;
+      EXPECT_EQ(total, q->num_attrs());
+    }
+  }
+}
+
+TEST(GhdPropertyTest, WidthNeverExceedsFullQueryRho) {
+  // The optimal GHD's width is at most the whole query's fractional
+  // edge cover (the one-bag decomposition achieves exactly that).
+  for (int qi = 1; qi <= 11; ++qi) {
+    auto q = query::MakeBenchmarkQuery(qi);
+    query::Hypergraph h(*q);
+    auto whole = ghd::FractionalEdgeCover(q->AllAttrs(), h.edges());
+    ASSERT_TRUE(whole.ok());
+    auto d = ghd::FindOptimalGhd(*q);
+    ASSERT_TRUE(d.ok());
+    EXPECT_LE(d->width, whole->rho + 1e-6) << "Q" << qi;
+  }
+}
+
+TEST(SimplexPropertyTest, RandomCoversSolvable) {
+  Rng rng(2027);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random LP in edge-cover form: constraints with 0/1 coefficients,
+    // rhs 1 — always feasible when every row has a nonzero.
+    const int n = 2 + int(rng.Uniform(5));
+    const int m = 1 + int(rng.Uniform(5));
+    ghd::LinearProgram lp;
+    lp.c.assign(n, 1.0);
+    for (int i = 0; i < m; ++i) {
+      std::vector<double> row(n, 0.0);
+      row[rng.Uniform(uint64_t(n))] = 1.0;
+      row[rng.Uniform(uint64_t(n))] = 1.0;
+      lp.a.push_back(row);
+      lp.b.push_back(1.0);
+    }
+    auto sol = ghd::SolveMinCover(lp);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_GE(sol->objective, 1.0 - 1e-6);
+    EXPECT_LE(sol->objective, double(m) + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace adj

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dataset/generators.h"
+#include "dataset/stats.h"
+
+namespace adj::dataset {
+namespace {
+
+TEST(GraphStatsTest, PathGraphBasics) {
+  storage::Relation path = PathGraph(10);
+  GraphStats stats = ComputeGraphStats(path);
+  EXPECT_EQ(stats.num_edges, 9u);
+  EXPECT_EQ(stats.num_nodes, 10u);
+  EXPECT_EQ(stats.max_out_degree, 1u);
+  EXPECT_EQ(stats.max_in_degree, 1u);
+}
+
+TEST(GraphStatsTest, CompleteGraphDegrees) {
+  storage::Relation k = CompleteGraph(8);
+  GraphStats stats = ComputeGraphStats(k);
+  EXPECT_EQ(stats.num_nodes, 8u);
+  EXPECT_EQ(stats.max_out_degree, 7u);
+  EXPECT_EQ(stats.max_in_degree, 7u);
+  EXPECT_DOUBLE_EQ(stats.avg_out_degree, 7.0);
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  storage::Relation empty(storage::Schema({0, 1}));
+  GraphStats stats = ComputeGraphStats(empty);
+  EXPECT_EQ(stats.num_edges, 0u);
+  EXPECT_EQ(stats.num_nodes, 0u);
+}
+
+TEST(GraphStatsTest, RmatIsMoreSkewedThanUniform) {
+  Rng rng1(3), rng2(3);
+  RmatParams params;
+  params.scale = 11;
+  storage::Relation rmat = Rmat(params, 20000, rng1);
+  storage::Relation uniform = ErdosRenyi(1 << 11, 20000, rng2);
+  GraphStats rs = ComputeGraphStats(rmat);
+  GraphStats us = ComputeGraphStats(uniform);
+  EXPECT_GT(rs.top1pct_out_share, us.top1pct_out_share * 2);
+  EXPECT_GT(rs.max_out_degree, us.max_out_degree);
+}
+
+TEST(GraphStatsTest, ToStringMentionsFields) {
+  storage::Relation path = PathGraph(5);
+  std::string s = ComputeGraphStats(path).ToString();
+  EXPECT_NE(s.find("edges="), std::string::npos);
+  EXPECT_NE(s.find("skew="), std::string::npos);
+}
+
+TEST(DegreeHistogramTest, CountsNodesPerDegree) {
+  // Star: one node with out-degree 4, others 0 out-edges.
+  storage::Relation star(storage::Schema({0, 1}));
+  for (Value v = 1; v <= 4; ++v) star.Append({0, v});
+  auto hist = OutDegreeHistogram(star, 8);
+  EXPECT_EQ(hist[4], 1u);
+  uint64_t total = 0;
+  for (uint64_t h : hist) total += h;
+  EXPECT_EQ(total, 1u);  // only nodes with out-edges are counted
+}
+
+TEST(DegreeHistogramTest, ClampsHugeDegrees) {
+  storage::Relation star(storage::Schema({0, 1}));
+  for (Value v = 1; v <= 100; ++v) star.Append({0, v});
+  auto hist = OutDegreeHistogram(star, 8);
+  EXPECT_EQ(hist[8], 1u);
+}
+
+}  // namespace
+}  // namespace adj::dataset

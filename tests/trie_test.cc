@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/rng.h"
+#include "storage/relation.h"
+#include "storage/trie.h"
+
+namespace adj::storage {
+namespace {
+
+Relation MakeRel(std::initializer_list<std::initializer_list<Value>> rows,
+                 int arity) {
+  std::vector<AttrId> attrs;
+  for (int i = 0; i < arity; ++i) attrs.push_back(i);
+  Relation r((Schema(attrs)));
+  for (const auto& row : rows) r.Append(row);
+  r.SortAndDedup();
+  return r;
+}
+
+TEST(TrieTest, BuildsPaperExample) {
+  // R1(a,b,c) from Fig. 2: {(1,2,2),(1,2,1),(2,1,1),(2,1,4)}.
+  Relation r = MakeRel({{1, 2, 2}, {1, 2, 1}, {2, 1, 1}, {2, 1, 4}}, 3);
+  Trie t = Trie::Build(r);
+  EXPECT_EQ(t.arity(), 3);
+  EXPECT_EQ(t.NumTuples(), 4u);
+  // Level 0: {1, 2}.
+  ASSERT_EQ(t.values(0).size(), 2u);
+  EXPECT_EQ(t.values(0)[0], 1u);
+  EXPECT_EQ(t.values(0)[1], 2u);
+  // Children of 1 at level 1: {2}; children of 2: {1}.
+  Trie::Range c1 = t.ChildRange(0, 0);
+  EXPECT_EQ(c1.size(), 1u);
+  EXPECT_EQ(t.ValueAt(1, c1.lo), 2u);
+  Trie::Range c2 = t.ChildRange(0, 1);
+  EXPECT_EQ(c2.size(), 1u);
+  EXPECT_EQ(t.ValueAt(1, c2.lo), 1u);
+  // Leaves under (1,2): {1,2}; under (2,1): {1,4}.
+  Trie::Range l1 = t.ChildRange(1, c1.lo);
+  ASSERT_EQ(l1.size(), 2u);
+  EXPECT_EQ(t.ValueAt(2, l1.lo), 1u);
+  EXPECT_EQ(t.ValueAt(2, l1.lo + 1), 2u);
+}
+
+TEST(TrieTest, EmptyRelation) {
+  Relation r = MakeRel({}, 2);
+  Trie t = Trie::Build(r);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.NumTuples(), 0u);
+  EXPECT_EQ(t.RootRange().size(), 0u);
+}
+
+TEST(TrieTest, SingleColumn) {
+  Relation r = MakeRel({{5}, {2}, {9}}, 1);
+  Trie t = Trie::Build(r);
+  EXPECT_EQ(t.arity(), 1);
+  ASSERT_EQ(t.values(0).size(), 3u);
+  EXPECT_EQ(t.values(0)[0], 2u);
+  EXPECT_EQ(t.values(0)[2], 9u);
+}
+
+TEST(TrieTest, SeekFindsLowerBound) {
+  Relation r = MakeRel({{2}, {4}, {8}, {16}}, 1);
+  Trie t = Trie::Build(r);
+  Trie::Range root = t.RootRange();
+  EXPECT_EQ(t.ValueAt(0, t.SeekInRange(0, root, 0)), 2u);
+  EXPECT_EQ(t.ValueAt(0, t.SeekInRange(0, root, 3)), 4u);
+  EXPECT_EQ(t.ValueAt(0, t.SeekInRange(0, root, 4)), 4u);
+  EXPECT_EQ(t.ValueAt(0, t.SeekInRange(0, root, 9)), 16u);
+  EXPECT_EQ(t.SeekInRange(0, root, 17), root.hi);
+}
+
+TEST(TrieTest, SeekRespectsSubRange) {
+  Relation r = MakeRel({{1}, {3}, {5}, {7}, {9}}, 1);
+  Trie t = Trie::Build(r);
+  Trie::Range sub{1, 4};  // values {3,5,7}
+  EXPECT_EQ(t.SeekInRange(0, sub, 0), 1u);
+  EXPECT_EQ(t.SeekInRange(0, sub, 6), 3u);
+  EXPECT_EQ(t.SeekInRange(0, sub, 8), 4u);  // == sub.hi
+}
+
+TEST(TrieTest, FindExact) {
+  Relation r = MakeRel({{2}, {4}, {8}}, 1);
+  Trie t = Trie::Build(r);
+  Trie::Range root = t.RootRange();
+  EXPECT_EQ(t.FindInRange(0, root, 4), 1u);
+  EXPECT_EQ(t.FindInRange(0, root, 5), root.hi);
+}
+
+TEST(TrieTest, NumTuplesMatchesRelation) {
+  Rng rng(5);
+  Relation r(Schema({0, 1}));
+  for (int i = 0; i < 300; ++i) {
+    r.Append({Value(rng.Uniform(20)), Value(rng.Uniform(20))});
+  }
+  r.SortAndDedup();
+  Trie t = Trie::Build(r);
+  EXPECT_EQ(t.NumTuples(), r.size());
+  EXPECT_EQ(t.values(0).size(), r.DistinctColumn(0).size());
+}
+
+/// Property sweep: for random relations of several arities, walking
+/// the trie enumerates exactly the relation's rows, in order.
+class TrieRoundTripTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+void WalkTrie(const Trie& t, int level, Trie::Range range,
+              std::vector<Value>& prefix,
+              std::vector<std::vector<Value>>& out) {
+  for (uint32_t i = range.lo; i < range.hi; ++i) {
+    prefix.push_back(t.ValueAt(level, i));
+    if (level + 1 == t.arity()) {
+      out.push_back(prefix);
+    } else {
+      WalkTrie(t, level + 1, t.ChildRange(level, i), prefix, out);
+    }
+    prefix.pop_back();
+  }
+}
+
+TEST_P(TrieRoundTripTest, EnumeratesExactlyTheRelation) {
+  const int arity = std::get<0>(GetParam());
+  const int domain = std::get<1>(GetParam());
+  Rng rng(uint64_t(arity * 1000 + domain));
+  std::vector<AttrId> attrs;
+  for (int i = 0; i < arity; ++i) attrs.push_back(i);
+  Relation r((Schema(attrs)));
+  for (int i = 0; i < 400; ++i) {
+    std::vector<Value> row;
+    for (int c = 0; c < arity; ++c) row.push_back(Value(rng.Uniform(domain)));
+    r.Append(row);
+  }
+  r.SortAndDedup();
+  Trie t = Trie::Build(r);
+  std::vector<std::vector<Value>> walked;
+  std::vector<Value> prefix;
+  WalkTrie(t, 0, t.RootRange(), prefix, walked);
+  ASSERT_EQ(walked.size(), r.size());
+  for (uint64_t i = 0; i < r.size(); ++i) {
+    for (int c = 0; c < arity; ++c) {
+      EXPECT_EQ(walked[i][size_t(c)], r.At(i, c));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TrieRoundTripTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(3, 8, 64)));
+
+/// Property: SeekInRange agrees with std::lower_bound on random data.
+class TrieSeekTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrieSeekTest, MatchesLowerBound) {
+  Rng rng{uint64_t(GetParam())};
+  Relation r(Schema({0}));
+  for (int i = 0; i < 1000; ++i) r.Append({Value(rng.Uniform(5000))});
+  r.SortAndDedup();
+  Trie t = Trie::Build(r);
+  std::span<const Value> vals = t.values(0);
+  for (int probe = 0; probe < 500; ++probe) {
+    uint32_t lo = uint32_t(rng.Uniform(vals.size()));
+    uint32_t hi = lo + uint32_t(rng.Uniform(vals.size() - lo + 1));
+    Value v = Value(rng.Uniform(5200));
+    uint32_t got = t.SeekInRange(0, {lo, hi}, v);
+    uint32_t want = uint32_t(
+        std::lower_bound(vals.begin() + lo, vals.begin() + hi, v) -
+        vals.begin());
+    EXPECT_EQ(got, want) << "lo=" << lo << " hi=" << hi << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieSeekTest, ::testing::Range(0, 8));
+
+TEST(TrieTest, StorageValuesSmallerThanFlatForSharedPrefixes) {
+  // Many repeated first columns => trie compresses level 0.
+  Relation r(Schema({0, 1}));
+  for (Value v = 0; v < 1000; ++v) r.Append({v % 10, v});
+  r.SortAndDedup();
+  Trie t = Trie::Build(r);
+  EXPECT_LT(t.StorageValues(), 2 * r.size() + 100);
+}
+
+}  // namespace
+}  // namespace adj::storage
