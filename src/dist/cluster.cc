@@ -1,0 +1,33 @@
+#include "dist/cluster.h"
+
+#include <algorithm>
+#include <string>
+
+namespace adj::dist {
+
+Status Cluster::CheckMemory() const {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].resident_bytes > config_.memory_per_server_bytes) {
+      return Status::ResourceExhausted(
+          "server " + std::to_string(s) + " resident set (" +
+          std::to_string(shards_[s].resident_bytes) +
+          " bytes) exceeds per-server memory budget (" +
+          std::to_string(config_.memory_per_server_bytes) + " bytes)");
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t Cluster::MaxResidentBytes() const {
+  uint64_t max_bytes = 0;
+  for (const LocalShard& shard : shards_) {
+    max_bytes = std::max(max_bytes, shard.resident_bytes);
+  }
+  return max_bytes;
+}
+
+void Cluster::ClearShards() {
+  for (LocalShard& shard : shards_) shard.Clear();
+}
+
+}  // namespace adj::dist

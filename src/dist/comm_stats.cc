@@ -1,0 +1,27 @@
+#include "dist/comm_stats.h"
+
+#include <algorithm>
+
+namespace adj::dist {
+
+namespace {
+
+double AggregateBandwidth(const NetworkModel& net, int num_servers) {
+  return net.bytes_per_s * double(std::max(1, num_servers));
+}
+
+}  // namespace
+
+double PushSeconds(const NetworkModel& net, uint64_t records, uint64_t bytes,
+                   int num_servers) {
+  return double(records) * net.record_overhead_s +
+         double(bytes) / AggregateBandwidth(net, num_servers);
+}
+
+double PullSeconds(const NetworkModel& net, uint64_t blocks, uint64_t bytes,
+                   int num_servers) {
+  return double(blocks) * net.block_overhead_s +
+         double(bytes) / AggregateBandwidth(net, num_servers);
+}
+
+}  // namespace adj::dist

@@ -1,0 +1,56 @@
+#ifndef ADJ_DIST_COMM_STATS_H_
+#define ADJ_DIST_COMM_STATS_H_
+
+#include <cstdint>
+
+namespace adj::dist {
+
+/// Communication volume of one distributed stage, in the units the
+/// paper reports: logical tuple copies shipped, wire bytes, transfer
+/// blocks, and the modeled transfer time.
+struct CommStats {
+  uint64_t tuple_copies = 0;
+  uint64_t bytes = 0;
+  uint64_t blocks = 0;
+  double seconds = 0.0;
+
+  void Add(const CommStats& other) {
+    tuple_copies += other.tuple_copies;
+    bytes += other.bytes;
+    blocks += other.blocks;
+    seconds += other.seconds;
+  }
+};
+
+/// Cost model of the simulated interconnect — the generalization of
+/// the paper's measured per-tuple constant alpha. Push-style shuffles
+/// pay a fixed cost per *record* (each tuple is routed as its own
+/// message); Pull/Merge-style shuffles group tuples into blocks and pay
+/// a fixed cost per *block* plus bandwidth. Aggregate bandwidth scales
+/// with the server count (every server has its own full-duplex link).
+struct NetworkModel {
+  /// Per-record envelope/routing cost of a Push shuffle.
+  double record_overhead_s = 2e-6;
+  /// Per-block request/response round-trip of a Pull fetch.
+  double block_overhead_s = 1e-3;
+  /// Per-server link bandwidth (1 Gbps by default).
+  double bytes_per_s = 1.25e8;
+  /// Per distributed stage scheduling/synchronization overhead — the
+  /// term that bounds the speed-up of trivial queries (Fig. 11 Q1).
+  double stage_overhead_s = 0.05;
+};
+
+/// Modeled seconds to Push-shuffle `records` records totalling `bytes`
+/// across a cluster of `num_servers` (aggregate bandwidth scales with
+/// the server count). Zero records/bytes cost zero.
+double PushSeconds(const NetworkModel& net, uint64_t records, uint64_t bytes,
+                   int num_servers);
+
+/// Modeled seconds to Pull-fetch `blocks` blocks totalling `bytes`.
+/// Well-defined down to a single server (num_servers is clamped to 1).
+double PullSeconds(const NetworkModel& net, uint64_t blocks, uint64_t bytes,
+                   int num_servers);
+
+}  // namespace adj::dist
+
+#endif  // ADJ_DIST_COMM_STATS_H_

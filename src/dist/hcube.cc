@@ -1,0 +1,223 @@
+#include "dist/hcube.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "storage/codec.h"
+
+namespace adj::dist {
+namespace {
+
+/// Per-input routing plan: how each column's value fixes a cube
+/// coordinate, and which coordinates stay free (duplication dims).
+struct RoutePlan {
+  /// (attr, share, stride) per bound column.
+  struct BoundDim {
+    AttrId attr;
+    uint32_t share;
+    uint64_t stride;
+  };
+  std::vector<BoundDim> bound;
+  /// (share, stride) per unbound attribute with share > 1; attributes
+  /// with share 1 contribute coordinate 0 and are skipped.
+  std::vector<std::pair<uint32_t, uint64_t>> free_dims;
+};
+
+/// Simulates Push's arrival order: the interleaved record stream a
+/// receiver collects is not sorted, so its local build must sort.
+storage::Relation ScrambleRows(const storage::Relation& rel, uint64_t seed) {
+  std::vector<uint64_t> idx(rel.size());
+  std::iota(idx.begin(), idx.end(), uint64_t{0});
+  Rng rng(seed);
+  for (uint64_t i = idx.size(); i > 1; --i) {
+    std::swap(idx[i - 1], idx[rng.Uniform(i)]);
+  }
+  storage::Relation out(rel.schema());
+  out.Reserve(rel.size());
+  for (uint64_t i : idx) out.Append(rel.Row(i));
+  return out;
+}
+
+}  // namespace
+
+const char* HCubeVariantName(HCubeVariant variant) {
+  switch (variant) {
+    case HCubeVariant::kPush:
+      return "Push";
+    case HCubeVariant::kPull:
+      return "Pull";
+    case HCubeVariant::kMerge:
+      return "Merge";
+  }
+  return "?";
+}
+
+StatusOr<HCubeResult> HCubeShuffle(const std::vector<HCubeInput>& inputs,
+                                   const ShareVector& share,
+                                   HCubeVariant variant, Cluster* cluster) {
+  if (cluster == nullptr || cluster->num_servers() < 1) {
+    return Status::InvalidArgument("HCubeShuffle requires a cluster");
+  }
+  if (!share.Valid()) {
+    return Status::InvalidArgument("invalid share vector " + share.ToString() +
+                                   ": every share must be >= 1");
+  }
+  const int num_servers = cluster->num_servers();
+  const size_t num_attrs = share.p.size();
+
+  // Mixed-radix strides: cube = sum_a coord[a] * stride[a].
+  std::vector<uint64_t> stride(num_attrs);
+  uint64_t cubes = 1;
+  for (size_t a = 0; a < num_attrs; ++a) {
+    stride[a] = cubes;
+    cubes *= share.p[a];
+  }
+
+  std::vector<RoutePlan> plans(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const HCubeInput& in = inputs[i];
+    if (in.rel == nullptr) {
+      return Status::InvalidArgument("HCubeInput with null relation");
+    }
+    if (int(in.attrs.size()) != in.rel->arity()) {
+      return Status::InvalidArgument("HCubeInput attrs/arity mismatch");
+    }
+    AttrMask bound_mask = 0;
+    for (AttrId attr : in.attrs) {
+      if (attr < 0 || size_t(attr) >= num_attrs) {
+        return Status::InvalidArgument(
+            "atom attribute " + std::to_string(attr) +
+            " outside share vector " + share.ToString());
+      }
+      plans[i].bound.push_back(
+          {attr, share.p[size_t(attr)], stride[size_t(attr)]});
+      bound_mask |= AttrMask(1) << attr;
+    }
+    for (size_t a = 0; a < num_attrs; ++a) {
+      if ((bound_mask & (AttrMask(1) << a)) == 0 && share.p[a] > 1) {
+        plans[i].free_dims.emplace_back(share.p[a], stride[a]);
+      }
+    }
+  }
+
+  // Route every tuple of every atom to its destination servers. A
+  // tuple lands on DupCubes(R, p) cubes; cubes collapse onto servers
+  // round-robin, and a tuple is shipped at most once per server.
+  cluster->ClearShards();
+  std::vector<std::vector<storage::Relation>> blocks(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    blocks[i].assign(size_t(num_servers),
+                     storage::Relation(inputs[i].rel->schema()));
+  }
+  std::vector<uint64_t> seen(size_t(num_servers), 0);
+  uint64_t tuple_stamp = 0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const storage::Relation& rel = *inputs[i].rel;
+    const RoutePlan& plan = plans[i];
+    std::vector<uint32_t> coord(plan.free_dims.size());
+    for (uint64_t row = 0; row < rel.size(); ++row) {
+      const std::span<const Value> tuple = rel.Row(row);
+      uint64_t base = 0;
+      for (size_t c = 0; c < plan.bound.size(); ++c) {
+        const RoutePlan::BoundDim& dim = plan.bound[c];
+        base += uint64_t(AttributeHash(dim.attr, tuple[c], dim.share)) *
+                dim.stride;
+      }
+      ++tuple_stamp;
+      // Odometer over the free coordinates.
+      std::fill(coord.begin(), coord.end(), 0u);
+      while (true) {
+        uint64_t cube = base;
+        for (size_t d = 0; d < coord.size(); ++d) {
+          cube += uint64_t(coord[d]) * plan.free_dims[d].second;
+        }
+        const size_t server = size_t(cube % uint64_t(num_servers));
+        if (seen[server] != tuple_stamp) {
+          seen[server] = tuple_stamp;
+          blocks[i][server].Append(tuple);
+        }
+        size_t d = 0;
+        for (; d < coord.size(); ++d) {
+          if (++coord[d] < plan.free_dims[d].first) break;
+          coord[d] = 0;
+        }
+        if (d == coord.size()) break;
+      }
+    }
+  }
+
+  // Receiver side: canonicalize each block, build the local tries, and
+  // account communication per variant.
+  HCubeResult result;
+  const NetworkModel& net = cluster->config().net;
+  for (int s = 0; s < num_servers; ++s) {
+    LocalShard& shard = cluster->shard(s);
+    shard.attrs.reserve(inputs.size());
+    shard.atoms.reserve(inputs.size());
+    shard.tries.reserve(inputs.size());
+    double build_s = 0.0;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      storage::Relation block = std::move(blocks[i][size_t(s)]);
+      block.SortAndDedup();
+      result.comm.tuple_copies += block.size();
+      storage::Trie trie;
+      if (!block.empty()) {
+        ++result.comm.blocks;
+        switch (variant) {
+          case HCubeVariant::kPush: {
+            // Records arrive interleaved: sort + dedup + build, timed.
+            result.comm.bytes += block.SizeBytes();
+            storage::Relation arrival =
+                ScrambleRows(block, uint64_t(s) * 131 + i + 1);
+            WallTimer timer;
+            arrival.SortAndDedup();
+            trie = storage::Trie::Build(arrival);
+            build_s += timer.Seconds();
+            break;
+          }
+          case HCubeVariant::kPull: {
+            // Sorted compressed blocks: verify order + build, no sort.
+            result.comm.bytes += storage::EncodeRelationBlock(block).size();
+            WallTimer timer;
+            block.IsSortedUnique();
+            trie = storage::Trie::Build(block);
+            build_s += timer.Seconds();
+            break;
+          }
+          case HCubeVariant::kMerge: {
+            // Tries ship pre-built; the receiver adopts the arrays and
+            // does no local build work (the sender-side build below is
+            // not charged to the receiver's makespan).
+            trie = storage::Trie::Build(block);
+            result.comm.bytes += storage::EncodeTrieBlock(trie).size();
+            break;
+          }
+        }
+      }
+      shard.resident_bytes += block.SizeBytes();
+      shard.resident_bytes += trie.StorageValues() * sizeof(Value);
+      shard.attrs.push_back(inputs[i].attrs);
+      shard.atoms.push_back(std::move(block));
+      shard.tries.push_back(std::move(trie));
+    }
+    result.build_seconds_sum += build_s;
+    result.build_seconds_max = std::max(result.build_seconds_max, build_s);
+  }
+
+  ADJ_RETURN_IF_ERROR(cluster->CheckMemory());
+
+  result.comm.seconds =
+      variant == HCubeVariant::kPush
+          ? PushSeconds(net, result.comm.tuple_copies, result.comm.bytes,
+                        num_servers)
+          : PullSeconds(net, result.comm.blocks, result.comm.bytes,
+                        num_servers);
+  return result;
+}
+
+}  // namespace adj::dist

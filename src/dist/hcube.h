@@ -1,0 +1,62 @@
+#ifndef ADJ_DIST_HCUBE_H_
+#define ADJ_DIST_HCUBE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "dist/cluster.h"
+#include "dist/share_vector.h"
+#include "storage/relation.h"
+
+namespace adj::dist {
+
+/// One relation entering an HCube shuffle: the (sorted, deduplicated)
+/// tuples plus the query attribute each column binds. Attribute ids
+/// index the share vector.
+struct HCubeInput {
+  const storage::Relation* rel = nullptr;
+  std::vector<AttrId> attrs;
+};
+
+/// The three HCube implementations of Sec. V, compared in Fig. 9:
+///  - kPush: senders route every tuple copy as its own record; the
+///    receiver collects an unsorted stream and must sort before
+///    building its tries (per-record network overhead, full local sort),
+///  - kPull: senders group tuples into per-destination sorted blocks
+///    (delta-compressed) that receivers fetch; the local build skips
+///    the sort,
+///  - kMerge: senders pre-build and ship the trie arrays themselves
+///    ("a trie ... can be implemented using three arrays"); receivers
+///    adopt them with no local build work.
+enum class HCubeVariant { kPush = 0, kPull = 1, kMerge = 2 };
+
+const char* HCubeVariantName(HCubeVariant variant);
+
+/// Accounting of one HCube shuffle. `build_seconds_*` measure the
+/// receivers' local index construction (Fig. 9's right panel):
+/// max = parallel makespan across servers, sum = total work.
+struct HCubeResult {
+  CommStats comm;
+  double build_seconds_max = 0.0;
+  double build_seconds_sum = 0.0;
+};
+
+/// Hypercube-shuffles `inputs` onto `cluster` under share vector
+/// `share`: each tuple is routed to every cube agreeing with the
+/// hashes of its bound attributes (DupCubes copies), cubes are mapped
+/// to servers round-robin, and every shard ends up with the canonical
+/// sorted fragment + trie per atom. All variants produce identical
+/// shard contents and identical logical tuple movement; they differ in
+/// wire format (bytes), network pricing, and local build time.
+///
+/// Fails with kInvalidArgument on a malformed share vector and with
+/// kResourceExhausted when any shard's resident set exceeds the
+/// cluster's per-server memory budget.
+StatusOr<HCubeResult> HCubeShuffle(const std::vector<HCubeInput>& inputs,
+                                   const ShareVector& share,
+                                   HCubeVariant variant, Cluster* cluster);
+
+}  // namespace adj::dist
+
+#endif  // ADJ_DIST_HCUBE_H_

@@ -1,0 +1,45 @@
+#include "dist/share_vector.h"
+
+namespace adj::dist {
+
+uint64_t ShareVector::NumCubes() const {
+  uint64_t cubes = 1;
+  for (uint32_t share : p) cubes *= share;
+  return cubes;
+}
+
+bool ShareVector::Valid() const {
+  if (p.empty()) return false;
+  for (uint32_t share : p) {
+    if (share == 0) return false;
+  }
+  return true;
+}
+
+std::string ShareVector::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(p[i]);
+  }
+  out += ')';
+  return out;
+}
+
+uint64_t DupCubes(AttrMask schema, const ShareVector& p) {
+  uint64_t dup = 1;
+  for (size_t a = 0; a < p.p.size(); ++a) {
+    if ((schema & (AttrMask(1) << a)) == 0) dup *= p.p[a];
+  }
+  return dup;
+}
+
+double ServerFraction(AttrMask schema, const ShareVector& p) {
+  double bound = 1.0;
+  for (size_t a = 0; a < p.p.size(); ++a) {
+    if (schema & (AttrMask(1) << a)) bound *= double(p.p[a]);
+  }
+  return 1.0 / bound;
+}
+
+}  // namespace adj::dist

@@ -1,0 +1,44 @@
+#ifndef ADJ_DIST_SHARE_VECTOR_H_
+#define ADJ_DIST_SHARE_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace adj::dist {
+
+/// The hypercube share vector p of Sec. II-A: attribute a of the query
+/// universe is hashed into p[a] buckets, organizing the logical servers
+/// as a prod(p)-cell hyper-rectangle of "cubes". This is the variable
+/// of the share-optimization program (Eq. 3) and the coordinate system
+/// of every HCube shuffle.
+struct ShareVector {
+  std::vector<uint32_t> p;
+
+  /// prod(p): the number of hypercube cells.
+  uint64_t NumCubes() const;
+
+  /// True iff non-empty and every share is >= 1.
+  bool Valid() const;
+
+  /// "(p0,p1,...,pk)".
+  std::string ToString() const;
+};
+
+/// dup(R, p): the number of cubes each tuple of a relation with
+/// attribute set `schema` is replicated to — the product of the shares
+/// of the attributes R does *not* bind (the duplication factor of
+/// Eq. 3's objective).
+uint64_t DupCubes(AttrMask schema, const ShareVector& p);
+
+/// frac(R, p) = 1 / prod_{a in schema} p[a]: the fraction of the cubes
+/// (and hence, in expectation, of the servers) that hold any fixed
+/// tuple of a relation with attribute set `schema`. Drives the share
+/// optimizer's per-server memory constraint.
+double ServerFraction(AttrMask schema, const ShareVector& p);
+
+}  // namespace adj::dist
+
+#endif  // ADJ_DIST_SHARE_VECTOR_H_

@@ -1,0 +1,52 @@
+#ifndef ADJ_DIST_THREAD_POOL_H_
+#define ADJ_DIST_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adj::dist {
+
+/// Reusable fixed-size worker pool with batch semantics: RunAll()
+/// blocks until every task of the batch has executed exactly once.
+/// Used to run the simulated servers of one cluster concurrently
+/// (exec::RunHCubeJ's worker_threads) and reusable across batches so
+/// multi-stage plans do not re-spawn threads per stage.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return int(workers_.size()); }
+
+  /// Runs every task of `tasks` exactly once across the workers and
+  /// returns when all are done. An empty batch is a no-op. Not
+  /// re-entrant: one batch at a time per pool.
+  void RunAll(const std::vector<std::function<void()>>& tasks);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::vector<std::function<void()>>* tasks_ = nullptr;  // guarded by mu_
+  size_t next_ = 0;   // next unclaimed task index
+  size_t done_ = 0;   // tasks finished in the current batch
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `tasks` on `threads` host threads and blocks until all finish.
+/// threads <= 1 executes inline, sequentially, in submission order —
+/// the right mode for cost measurements (per-task timings undistorted).
+void RunTasks(int threads, const std::vector<std::function<void()>>& tasks);
+
+}  // namespace adj::dist
+
+#endif  // ADJ_DIST_THREAD_POOL_H_
