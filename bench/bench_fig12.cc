@@ -12,11 +12,8 @@
 namespace adj::bench {
 namespace {
 
-const core::Strategy kMethods[5] = {
-    core::Strategy::kBinaryJoin, core::Strategy::kBigJoin,
-    core::Strategy::kCommFirst, core::Strategy::kCachedCommFirst,
-    core::Strategy::kCoOpt};
-
+// Column order is core::AllStrategies(): SparkSQL, BigJoin, HCubeJ,
+// HCubeJ+Cache, ADJ — the paper's multi-round-to-ADJ ordering.
 std::string OneCell(core::Engine& engine, const query::Query& q,
                     core::Strategy s, core::EngineOptions opts) {
   // Fig. 12 compares systems as published: HCubeJ / HCubeJ+Cache /
@@ -61,7 +58,7 @@ void Run(bool table1_only) {
       int width[5] = {10, 10, 10, 12, 10};
       for (int m = 0; m < 5; ++m) {
         std::printf(" %*s", width[m],
-                    OneCell(engine, *q, kMethods[m], opts).c_str());
+                    OneCell(engine, *q, core::AllStrategies()[size_t(m)], opts).c_str());
       }
       std::printf("\n");
     }
@@ -83,7 +80,7 @@ void Run(bool table1_only) {
       int width[5] = {10, 10, 10, 12, 10};
       for (int m = 0; m < 5; ++m) {
         std::printf(" %*s", width[m],
-                    OneCell(engine, *q, kMethods[m], opts).c_str());
+                    OneCell(engine, *q, core::AllStrategies()[size_t(m)], opts).c_str());
       }
       std::printf("\n");
     }

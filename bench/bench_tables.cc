@@ -22,34 +22,33 @@ void Run(bool exhaustive) {
     std::printf("%-5s | %9s %9s %9s %9s %9s | %9s %9s %9s %9s\n", "query",
                 "Opt", "Pre", "Comm", "Comp", "Total", "Opt", "Comm", "Comp",
                 "Total");
-    const storage::Catalog& db = data.Get(name);
-    core::Engine engine(&db);
+    api::Session session = data.GetDb(name).OpenSession();
+    session.options() = BenchOptions(servers);
+    session.options().use_exhaustive_planner = exhaustive;
     for (int qi : {4, 5, 6}) {
       auto q = query::MakeBenchmarkQuery(qi);
       ADJ_CHECK(q.ok());
-      core::EngineOptions opts = BenchOptions(servers);
-      opts.use_exhaustive_planner = exhaustive;
 
-      auto coopt = engine.Run(*q, core::Strategy::kCoOpt, opts);
-      auto comm_first = engine.Run(*q, core::Strategy::kCommFirst, opts);
+      api::Result coopt = session.Run(*q, "ADJ");
+      api::Result comm_first = session.Run(*q, "HCubeJ");
 
       auto cell = [](bool ok, double v) {
         return ok ? Num(v) : std::string("FAIL");
       };
-      const bool co_ok = coopt.ok() && coopt->ok();
-      const bool cf_ok = comm_first.ok() && comm_first->ok();
+      const bool co_ok = coopt.ok();
+      const bool cf_ok = comm_first.ok();
       std::printf(
           "%-5s | %9s %9s %9s %9s %9s | %9s %9s %9s %9s\n",
           query::BenchmarkQueryName(qi).c_str(),
-          cell(co_ok, co_ok ? coopt->optimize_s : 0).c_str(),
-          cell(co_ok, co_ok ? coopt->precompute_s : 0).c_str(),
-          cell(co_ok, co_ok ? coopt->comm_s : 0).c_str(),
-          cell(co_ok, co_ok ? coopt->comp_s : 0).c_str(),
-          cell(co_ok, co_ok ? coopt->TotalSeconds() : 0).c_str(),
-          cell(cf_ok, cf_ok ? comm_first->optimize_s : 0).c_str(),
-          cell(cf_ok, cf_ok ? comm_first->comm_s : 0).c_str(),
-          cell(cf_ok, cf_ok ? comm_first->comp_s : 0).c_str(),
-          cell(cf_ok, cf_ok ? comm_first->TotalSeconds() : 0).c_str());
+          cell(co_ok, coopt.optimize_seconds()).c_str(),
+          cell(co_ok, coopt.precompute_seconds()).c_str(),
+          cell(co_ok, coopt.communication_seconds()).c_str(),
+          cell(co_ok, coopt.computation_seconds()).c_str(),
+          cell(co_ok, coopt.total_seconds()).c_str(),
+          cell(cf_ok, comm_first.optimize_seconds()).c_str(),
+          cell(cf_ok, comm_first.communication_seconds()).c_str(),
+          cell(cf_ok, comm_first.computation_seconds()).c_str(),
+          cell(cf_ok, comm_first.total_seconds()).c_str());
     }
   }
   std::printf(

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "api/api.h"
 #include "common/logging.h"
 #include "core/engine.h"
 #include "dataset/builtin.h"
@@ -28,26 +29,30 @@ inline int ServersFromEnv(int def = 4) {
   return s != nullptr ? std::atoi(s) : def;
 }
 
-/// Loads (and caches) a builtin dataset at the bench scale.
+/// Loads (and caches) a builtin dataset at the bench scale, as an
+/// api::Database (relation "G").
 class DatasetCache {
  public:
   explicit DatasetCache(double scale) : scale_(scale) {}
 
+  const api::Database& GetDb(const std::string& name) {
+    auto it = dbs_.find(name);
+    if (it != dbs_.end()) return it->second;
+    StatusOr<api::Database> db = api::Database::OpenBuiltin(name, scale_);
+    ADJ_CHECK(db.ok()) << db.status();
+    return dbs_.emplace(name, std::move(db.value())).first->second;
+  }
+
+  /// Raw catalog view, for benches that drive core::Engine directly.
   const storage::Catalog& Get(const std::string& name) {
-    auto it = catalogs_.find(name);
-    if (it != catalogs_.end()) return it->second;
-    StatusOr<storage::Relation> rel = dataset::MakeBuiltin(name, scale_);
-    ADJ_CHECK(rel.ok()) << rel.status();
-    storage::Catalog db;
-    db.Put("G", std::move(rel.value()));
-    return catalogs_.emplace(name, std::move(db)).first->second;
+    return GetDb(name).catalog();
   }
 
   double scale() const { return scale_; }
 
  private:
   double scale_;
-  std::map<std::string, storage::Catalog> catalogs_;
+  std::map<std::string, api::Database> dbs_;
 };
 
 /// Engine options used across benches: failure emulation thresholds

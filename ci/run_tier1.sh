@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full ctest suite.
 # Mirrors the command pinned in ROADMAP.md; CI and local runs share it.
+# CMAKE_BUILD_TYPE overrides the build type (CI runs Debug + Release);
+# unset, CMakeLists.txt's RelWithDebInfo default applies.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 BUILD_DIR="${BUILD_DIR:-build}"
+BUILD_TYPE="${CMAKE_BUILD_TYPE:-}"
 
-cmake -B "${BUILD_DIR}" -S .
+cmake -B "${BUILD_DIR}" -S . \
+  ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="${BUILD_TYPE}"}
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"

@@ -6,42 +6,81 @@
 //     --dataset NAME    use a builtin stand-in (WB/AS/WT/LJ/EN/OK)
 //     --scale S         builtin dataset scale (default 0.2)
 //     --servers N       simulated servers (default 4)
-//     --strategy NAME   ADJ | HCubeJ | HCubeJ+Cache | SparkSQL | BigJoin
+//     --strategy NAME   any registered strategy (default ADJ); the cli
+//                       itself registers "Yannakakis" at startup to
+//                       demonstrate the open StrategyRegistry
 //     --explain         print ADJ's plan (hypertree, traversal, costs)
 //
 // Examples:
 //   adj_cli "G(a,b) G(b,c) G(a,c)"
 //   adj_cli --dataset LJ --strategy HCubeJ "G(a,b) G(b,c) G(c,a)"
+//   adj_cli --strategy Yannakakis "G(a,b) G(b,c) G(a,c)"
 //   adj_cli --graph my.txt "G(a,b) G(b,c) | a=7 | c"
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "api/api.h"
+#include "common/timer.h"
 #include "core/spj.h"
+#include "core/strategy_registry.h"
 #include "dataset/builtin.h"
-#include "storage/edge_list_io.h"
+#include "exec/yannakakis.h"
 
 namespace {
 
-adj::StatusOr<adj::core::Strategy> ParseStrategy(const std::string& name) {
-  using adj::core::Strategy;
-  if (name == "ADJ") return Strategy::kCoOpt;
-  if (name == "HCubeJ") return Strategy::kCommFirst;
-  if (name == "HCubeJ+Cache") return Strategy::kCachedCommFirst;
-  if (name == "SparkSQL") return Strategy::kBinaryJoin;
-  if (name == "BigJoin") return Strategy::kBigJoin;
-  return adj::Status::InvalidArgument("unknown strategy: " + name);
+// A strategy the core library does not know about, plugged in at
+// startup: Yannakakis' acyclic-query evaluator as a single-server
+// oracle run. Selectable via --strategy Yannakakis like the builtin
+// five — no core::Strategy change involved.
+adj::Status RegisterYannakakisStrategy() {
+  using namespace adj;
+  return core::StrategyRegistry::Global().Register(
+      "Yannakakis",
+      [](core::Engine& engine, const query::Query& q,
+         const core::EngineOptions& options) -> StatusOr<exec::RunReport> {
+        WallTimer timer;
+        exec::YannakakisStats stats;
+        StatusOr<storage::Relation> joined = exec::YannakakisJoinAuto(
+            q, engine.db(), &stats, options.limits.max_materialized_rows);
+        exec::RunReport report;
+        report.method = "Yannakakis";
+        if (!joined.ok()) {
+          report.status = joined.status();
+          return report;
+        }
+        report.output_count = joined->size();
+        report.comp_s = timer.Seconds();
+        report.extensions = stats.intermediate_tuples;
+        return report;
+      });
+}
+
+std::string KnownStrategies() {
+  std::string out;
+  for (const std::string& name :
+       adj::core::StrategyRegistry::Global().Names()) {
+    if (!out.empty()) out += " | ";
+    out += name;
+  }
+  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace adj;
+  Status registered = RegisterYannakakisStrategy();
+  if (!registered.ok()) {
+    std::fprintf(stderr, "%s\n", registered.ToString().c_str());
+    return 2;
+  }
+
   std::string graph_path, dataset_name = "AS", query_text;
+  std::string strategy = "ADJ";
   double scale = 0.2;
   int servers = 4;
   bool explain = false;
-  core::Strategy strategy = core::Strategy::kCoOpt;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -59,18 +98,21 @@ int main(int argc, char** argv) {
     } else if (arg == "--explain") {
       explain = true;
     } else if (arg == "--strategy") {
-      StatusOr<core::Strategy> s = ParseStrategy(next());
-      if (!s.ok()) {
-        std::fprintf(stderr, "%s\n", s.status().ToString().c_str());
+      strategy = next();
+      if (!core::StrategyRegistry::Global().Contains(strategy)) {
+        std::fprintf(stderr, "unknown strategy: %s (known: %s)\n",
+                     strategy.c_str(), KnownStrategies().c_str());
         return 2;
       }
-      strategy = *s;
     } else {
       query_text = arg;
     }
   }
   if (query_text.empty()) {
-    std::fprintf(stderr, "usage: adj_cli [options] \"G(a,b) G(b,c) ...\"\n");
+    std::fprintf(stderr,
+                 "usage: adj_cli [options] \"G(a,b) G(b,c) ...\"\n"
+                 "  --strategy %s\n",
+                 KnownStrategies().c_str());
     return 2;
   }
 
@@ -81,66 +123,81 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  storage::Catalog db;
+  api::Database db;
   if (!graph_path.empty()) {
-    StatusOr<storage::Relation> g = storage::LoadEdgeList(graph_path);
-    if (!g.ok()) {
-      std::fprintf(stderr, "load error: %s\n", g.status().ToString().c_str());
+    Status loaded = db.LoadEdgeList(graph_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load error: %s\n", loaded.ToString().c_str());
       return 1;
     }
     std::printf("loaded %llu edges from %s\n",
-                static_cast<unsigned long long>(g->size()),
+                static_cast<unsigned long long>(db.total_tuples()),
                 graph_path.c_str());
-    db.Put("G", std::move(g.value()));
   } else {
-    StatusOr<storage::Relation> g =
-        dataset::MakeBuiltin(dataset_name, scale);
-    if (!g.ok()) {
-      std::fprintf(stderr, "dataset error: %s\n",
-                   g.status().ToString().c_str());
+    Status loaded = db.LoadBuiltin(dataset_name, scale);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "dataset error: %s\n", loaded.ToString().c_str());
       return 1;
     }
-    std::printf("%s\n",
-                dataset::DescribeDataset(dataset_name, *g).c_str());
-    db.Put("G", std::move(g.value()));
-  }
-
-  core::EngineOptions options;
-  options.cluster.num_servers = servers;
-  options.num_samples = 500;
-
-  std::printf("query: %s\nstrategy: %s, servers: %d\n\n",
-              spj->ToString().c_str(), core::StrategyName(strategy),
-              servers);
-  if (explain) {
-    core::Engine engine(&db);
-    StatusOr<core::PlanResult> planned = engine.Plan(spj->join, options);
-    if (planned.ok()) {
-      std::printf("%s\n", planned->explanation.c_str());
-    } else {
-      std::printf("explain unavailable: %s\n",
-                  planned.status().ToString().c_str());
+    // LoadBuiltin just registered "G", so the lookup cannot fail; the
+    // guard only keeps the deref honest.
+    StatusOr<const storage::Relation*> g = db.catalog().Get("G");
+    if (g.ok()) {
+      std::printf("%s\n",
+                  dataset::DescribeDataset(dataset_name, **g).c_str());
     }
   }
-  StatusOr<core::SpjResult> result = core::RunSpj(db, *spj, strategy,
-                                                  options);
+
+  api::Session session = db.OpenSession();
+  session.options().cluster.num_servers = servers;
+  session.options().num_samples = 500;
+  session.set_default_strategy(strategy);
+
+  std::printf("query: %s\nstrategy: %s, servers: %d\n\n",
+              spj->ToString().c_str(), strategy.c_str(), servers);
+  api::Result result;
+  bool ran = false;
+  if (explain) {
+    StatusOr<api::PreparedQuery> prepared = session.Prepare(query_text);
+    if (prepared.ok()) {
+      std::printf("%s\n", prepared->explanation().c_str());
+      if (strategy == "ADJ") {
+        // The explained plan is the one ADJ would run — execute it
+        // instead of planning the same query a second time.
+        result = prepared->Run();
+        ran = true;
+      }
+    } else {
+      // Projecting queries can't be prepared; explain the join body
+      // directly instead.
+      core::Engine engine(&db.catalog());
+      StatusOr<core::PlanResult> planned =
+          engine.Plan(spj->join, session.options());
+      if (planned.ok()) {
+        std::printf("%s\n", planned->explanation.c_str());
+      } else {
+        std::printf("explain unavailable: %s\n",
+                    planned.status().ToString().c_str());
+      }
+    }
+  }
+  if (!ran) result = session.Run(query_text);
   if (!result.ok()) {
     std::fprintf(stderr, "run error: %s\n",
                  result.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s\n", result->report.ToString().c_str());
-  if (!result->report.plan_description.empty()) {
-    std::printf("plan: %s\n", result->report.plan_description.c_str());
+  std::printf("%s\n", result.report().ToString().c_str());
+  if (!result.report().plan_description.empty()) {
+    std::printf("plan: %s\n", result.report().plan_description.c_str());
   }
   std::printf("result count: %llu",
-              static_cast<unsigned long long>(result->projected_count));
+              static_cast<unsigned long long>(result.count()));
   if (spj->projection != 0) std::printf(" (distinct projected)");
-  if (result->pushed_down_filtered > 0) {
+  if (result.selection_filtered() > 0) {
     std::printf("  [selection push-down removed %llu tuples]",
-                static_cast<unsigned long long>(
-                    result->pushed_down_filtered));
+                static_cast<unsigned long long>(result.selection_filtered()));
   }
   std::printf("\n");
-  return result->report.ok() ? 0 : 1;
+  return 0;
 }

@@ -1,55 +1,62 @@
-// Quickstart: load a graph, declare a cyclic join query, and run it
-// with ADJ's co-optimizing engine — the minimal end-to-end use of the
-// public API.
+// Quickstart: open a database, open a session, and serve queries —
+// the minimal end-to-end use of the public api:: facade.
 //
 //   $ ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/engine.h"
+#include "api/api.h"
 #include "dataset/generators.h"
-#include "query/query.h"
 
 int main() {
   using namespace adj;
 
   // 1. A database: one edge relation "G" (a synthetic scale-free
-  //    graph; swap in your own storage::Relation to use real data).
+  //    graph; Database::LoadEdgeList plugs in real SNAP data).
   Rng rng(2024);
-  storage::Catalog db;
+  api::Database db;
   dataset::RmatParams params;
   params.scale = 12;
-  db.Put("G", dataset::Rmat(params, 30000, rng));
+  db.AddRelation("G", dataset::Rmat(params, 30000, rng));
 
-  // 2. A query: the paper's Q5 — a 5-cycle with two chords, written
-  //    exactly as in the paper.
-  StatusOr<query::Query> q = query::Query::Parse(
-      "G(a,b) G(b,c) G(c,d) G(d,e) G(e,a) G(b,e) G(b,d)");
-  if (!q.ok()) {
-    std::fprintf(stderr, "parse error: %s\n", q.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("query: %s\n", q->ToString().c_str());
+  // 2. A session over a simulated 4-server cluster. Options are
+  //    per-session — each client tunes its own cluster and budgets.
+  api::Session session = db.OpenSession();
+  session.options().cluster.num_servers = 4;
+  session.options().num_samples = 500;
 
-  // 3. An engine over a simulated 4-server cluster.
-  core::Engine engine(&db);
-  core::EngineOptions options;
-  options.cluster.num_servers = 4;
-  options.num_samples = 500;
-
-  // 4. Run with co-optimization (ADJ) and with the communication-first
-  //    baseline, and compare.
-  for (core::Strategy s :
-       {core::Strategy::kCoOpt, core::Strategy::kCommFirst}) {
-    StatusOr<exec::RunReport> report = engine.Run(*q, s, options);
-    if (!report.ok()) {
-      std::fprintf(stderr, "run error: %s\n",
-                   report.status().ToString().c_str());
+  // 3. The paper's Q5 — a 5-cycle with two chords — under ADJ
+  //    co-optimization and the communication-first baseline, selected
+  //    by strategy name.
+  const char* kQ5 = "G(a,b) G(b,c) G(c,d) G(d,e) G(e,a) G(b,e) G(b,d)";
+  std::printf("query: %s\n", kQ5);
+  for (const char* strategy : {"ADJ", "HCubeJ"}) {
+    api::Result r = session.Run(kQ5, strategy);
+    if (!r.ok()) {
+      std::fprintf(stderr, "run error (%s): %s\n", strategy,
+                   r.status().ToString().c_str());
       return 1;
     }
-    std::printf("%s\n", report->ToString().c_str());
-    if (s == core::Strategy::kCoOpt) {
-      std::printf("  plan: %s\n", report->plan_description.c_str());
+    std::printf("%s\n", r.ToString().c_str());
+  }
+
+  // 4. The serving pattern: plan once, execute many times. The second
+  //    run reuses the cached plan, so its optimize cost is zero.
+  StatusOr<api::PreparedQuery> prepared = session.Prepare(kQ5);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare error: %s\n",
+                 prepared.status().ToString().c_str());
+    return 1;
+  }
+  for (int run = 1; run <= 2; ++run) {
+    api::Result r = prepared->Run();
+    if (!r.ok()) {
+      std::fprintf(stderr, "prepared run error: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
     }
+    std::printf("prepared run %d: count=%llu opt=%.3fs total=%.3fs\n", run,
+                static_cast<unsigned long long>(r.count()),
+                r.optimize_seconds(), r.total_seconds());
   }
   return 0;
 }

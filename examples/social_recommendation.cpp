@@ -1,61 +1,63 @@
 // Social-network link analysis: finds "diamond" friend-of-friend
 // structures used as discriminative features for recommendation (the
 // statistical-relational-learning use case the paper's introduction
-// cites). Demonstrates the planning API: inspecting the GHD, the
-// chosen traversal, the pre-computed candidate relations, and the
-// estimated cost breakdown before executing.
+// cites). Demonstrates the prepared-query API: inspect the plan — the
+// GHD, the chosen traversal, the pre-computed candidate relations, and
+// the estimated cost breakdown — before paying for execution, then
+// execute the cached plan.
 //
 //   $ ./build/examples/social_recommendation
 #include <cstdio>
 
-#include "core/engine.h"
+#include "api/api.h"
 #include "dataset/generators.h"
-#include "ghd/decomposition.h"
-#include "query/query.h"
 
 int main() {
   using namespace adj;
 
   // A skewed "who-follows-whom" graph.
   Rng rng(7);
-  storage::Catalog db;
-  db.Put("Follows", dataset::ZipfGraph(4000, 40000, 0.85, rng));
+  api::Database db;
+  db.AddRelation("Follows", dataset::ZipfGraph(4000, 40000, 0.85, rng));
 
   // Diamond pattern with a chord: users a,b,c,d where a follows b and
   // c, both follow d, and b also follows c — a strong triadic-closure
   // feature for recommending d to a.
-  StatusOr<query::Query> q = query::Query::Parse(
-      "Follows(a,b) Follows(a,c) Follows(b,d) Follows(c,d) Follows(b,c)");
-  if (!q.ok()) return 1;
-  std::printf("pattern: %s\n\n", q->ToString().c_str());
+  const char* kPattern =
+      "Follows(a,b) Follows(a,c) Follows(b,d) Follows(c,d) Follows(b,c)";
 
-  // Inspect the hypertree decomposition driving the plan.
-  StatusOr<ghd::Decomposition> decomp = ghd::FindOptimalGhd(*q);
-  if (!decomp.ok()) return 1;
-  std::printf("optimal GHD: %s\n", decomp->ToString(*q).c_str());
-
-  core::Engine engine(&db);
-  core::EngineOptions options;
-  options.cluster.num_servers = 7;
-  options.num_samples = 1000;
+  api::Session session = db.OpenSession();
+  session.options().cluster.num_servers = 7;
+  session.options().num_samples = 1000;
 
   // Planning only: what would ADJ pre-compute, and at what cost?
-  StatusOr<core::PlanResult> planned = engine.Plan(*q, options);
-  if (!planned.ok()) {
+  StatusOr<api::PreparedQuery> prepared = session.Prepare(kPattern);
+  if (!prepared.ok()) {
     std::fprintf(stderr, "planning failed: %s\n",
-                 planned.status().ToString().c_str());
+                 prepared.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s", planned->explanation.c_str());
+  std::printf("pattern: %s\n\n", prepared->query().ToString().c_str());
+  std::printf("%s", prepared->explanation().c_str());
   std::printf("planning took %.3fs (incl. sampling)\n\n",
-              planned->optimize_s);
+              prepared->planning_seconds());
 
-  // Execute and compare against the communication-first baseline.
-  for (core::Strategy s :
-       {core::Strategy::kCoOpt, core::Strategy::kCommFirst}) {
-    StatusOr<exec::RunReport> r = engine.Run(*q, s, options);
-    if (!r.ok()) return 1;
-    std::printf("%s\n", r->ToString().c_str());
+  // Execute the cached plan, then compare against the
+  // communication-first baseline.
+  api::Result adj_run = prepared->Run();
+  if (!adj_run.ok()) {
+    std::fprintf(stderr, "ADJ run failed: %s\n",
+                 adj_run.status().ToString().c_str());
+    return 1;
   }
+  std::printf("%s\n", adj_run.report().ToString().c_str());
+
+  api::Result comm_first = session.Run(kPattern, "HCubeJ");
+  if (!comm_first.ok()) {
+    std::fprintf(stderr, "HCubeJ run failed: %s\n",
+                 comm_first.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", comm_first.report().ToString().c_str());
   return 0;
 }

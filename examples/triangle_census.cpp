@@ -1,13 +1,14 @@
 // Triangle census: the classic subgraph-analytics workload the
 // paper's introduction motivates. Counts directed triangles on every
-// builtin dataset, compares all five execution strategies, and prints
-// per-strategy cost breakdowns — a miniature Fig. 12(a).
+// builtin dataset, compares all five execution strategies through the
+// session facade, and prints per-strategy cost breakdowns — a
+// miniature Fig. 12(a).
 //
 //   $ ./build/examples/triangle_census [scale]
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/engine.h"
+#include "api/api.h"
 #include "dataset/builtin.h"
 #include "query/queries.h"
 
@@ -16,44 +17,44 @@ int main(int argc, char** argv) {
   const double scale = argc > 1 ? std::atof(argv[1]) : 0.2;
 
   StatusOr<query::Query> q = query::MakeBenchmarkQuery(1);  // triangle
-  if (!q.ok()) return 1;
+  if (!q.ok()) {
+    std::fprintf(stderr, "query error: %s\n", q.status().ToString().c_str());
+    return 1;
+  }
 
   std::printf("%-5s %12s | %-12s %10s %10s %10s\n", "data", "triangles",
               "method", "comm(s)", "comp(s)", "total(s)");
   for (const dataset::BuiltinSpec& spec : dataset::BuiltinSpecs()) {
-    StatusOr<storage::Relation> rel = dataset::MakeBuiltin(spec.name, scale);
-    if (!rel.ok()) continue;
-    storage::Catalog db;
-    db.Put("G", std::move(rel.value()));
-    core::Engine engine(&db);
-    core::EngineOptions options;
-    options.cluster.num_servers = 4;
-    options.num_samples = 200;
-    options.limits.max_seconds = 60;
+    StatusOr<api::Database> db = api::Database::OpenBuiltin(spec.name, scale);
+    if (!db.ok()) {
+      std::fprintf(stderr, "dataset %s: %s\n", spec.name.c_str(),
+                   db.status().ToString().c_str());
+      continue;
+    }
+    api::Session session = db->OpenSession();
+    session.options().cluster.num_servers = 4;
+    session.options().num_samples = 200;
+    session.options().limits.max_seconds = 60;
 
-    bool first = true;
-    for (core::Strategy s :
-         {core::Strategy::kCoOpt, core::Strategy::kCommFirst,
-          core::Strategy::kCachedCommFirst, core::Strategy::kBinaryJoin,
-          core::Strategy::kBigJoin}) {
-      StatusOr<exec::RunReport> r = engine.Run(*q, s, options);
-      if (!r.ok() || !r->ok()) {
-        std::printf("%-5s %12s | %-12s %10s\n",
-                    first ? spec.name.c_str() : "", "", core::StrategyName(s),
-                    "FAIL");
-        first = false;
+    bool name_printed = false, count_printed = false;
+    for (core::Strategy s : core::AllStrategies()) {
+      api::Result r = session.Run(*q, core::StrategyName(s));
+      const char* name_cell = name_printed ? "" : spec.name.c_str();
+      name_printed = true;
+      if (!r.ok()) {
+        std::printf("%-5s %12s | %-12s %10s\n", name_cell, "",
+                    core::StrategyName(s), "FAIL");
         continue;
       }
       char count_cell[24] = "";
-      if (first) {
+      if (!count_printed) {
         std::snprintf(count_cell, sizeof(count_cell), "%llu",
-                      static_cast<unsigned long long>(r->output_count));
+                      static_cast<unsigned long long>(r.count()));
+        count_printed = true;
       }
-      std::printf("%-5s %12s | %-12s %10.3f %10.3f %10.3f\n",
-                  first ? spec.name.c_str() : "", count_cell,
-                  core::StrategyName(s), r->comm_s, r->comp_s,
-                  r->TotalSeconds());
-      first = false;
+      std::printf("%-5s %12s | %-12s %10.3f %10.3f %10.3f\n", name_cell,
+                  count_cell, core::StrategyName(s), r.communication_seconds(),
+                  r.computation_seconds(), r.total_seconds());
     }
   }
   return 0;

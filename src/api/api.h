@@ -1,0 +1,28 @@
+#ifndef ADJ_API_API_H_
+#define ADJ_API_API_H_
+
+/// The library's public facade — include this one header to serve
+/// queries (snippets elide error handling; check .ok() on every
+/// StatusOr before dereferencing):
+///
+///   api::Database db = *api::Database::OpenBuiltin("LJ", 0.2);
+///   api::Session session = db.OpenSession();
+///   session.options().cluster.num_servers = 8;
+///
+///   api::Result r = session.Run("G(a,b) G(b,c) G(a,c)");   // ADJ
+///   api::Result h = session.Run("G(a,b) G(b,c)", "HCubeJ");
+///
+///   api::PreparedQuery q = *session.Prepare("G(a,b) G(b,c) G(a,c)");
+///   q.Run();  // plans once …
+///   q.Run();  // … re-executes with optimize_s = 0
+///
+/// New execution strategies plug in by name through
+/// core::StrategyRegistry::Global().Register(...) without touching the
+/// core::Strategy enum; Session::RunBatch fans a vector of queries out
+/// over a thread pool against the shared read-only catalog.
+#include "api/database.h"
+#include "api/prepared_query.h"
+#include "api/result.h"
+#include "api/session.h"
+
+#endif  // ADJ_API_API_H_

@@ -1,0 +1,48 @@
+#include "api/database.h"
+
+#include <utility>
+
+#include "api/session.h"
+#include "dataset/builtin.h"
+#include "storage/edge_list_io.h"
+
+namespace adj::api {
+
+StatusOr<Database> Database::OpenBuiltin(const std::string& dataset,
+                                         double scale) {
+  Database db;
+  ADJ_RETURN_IF_ERROR(db.LoadBuiltin(dataset, scale));
+  return db;
+}
+
+Status Database::LoadBuiltin(const std::string& dataset, double scale,
+                             const std::string& as) {
+  StatusOr<storage::Relation> rel = dataset::MakeBuiltin(dataset, scale);
+  if (!rel.ok()) return rel.status();
+  catalog_->Put(as, std::move(rel.value()));
+  return Status::OK();
+}
+
+Status Database::LoadEdgeList(const std::string& path,
+                              const std::string& as) {
+  StatusOr<storage::Relation> rel = storage::LoadEdgeList(path);
+  if (!rel.ok()) return rel.status();
+  catalog_->Put(as, std::move(rel.value()));
+  return Status::OK();
+}
+
+void Database::AddRelation(const std::string& name, storage::Relation rel) {
+  catalog_->Put(name, std::move(rel));
+}
+
+std::vector<std::string> Database::relation_names() const {
+  return catalog_->Names();
+}
+
+uint64_t Database::total_tuples() const { return catalog_->TotalTuples(); }
+
+Session Database::OpenSession() const {
+  return Session(std::shared_ptr<const storage::Catalog>(catalog_));
+}
+
+}  // namespace adj::api

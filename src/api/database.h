@@ -1,0 +1,62 @@
+#ifndef ADJ_API_DATABASE_H_
+#define ADJ_API_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "storage/relation.h"
+
+namespace adj::api {
+
+class Session;
+
+/// The facade's entry point: owns the catalog and hands out sessions.
+/// Load-then-serve lifecycle — load relations up front (builtin
+/// datasets by name, SNAP edge lists from disk, or relations built in
+/// memory), then open any number of sessions. Sessions share the
+/// catalog read-only and keep it alive, so they may outlive the
+/// Database; loading while sessions are executing queries is a data
+/// race — don't.
+class Database {
+ public:
+  Database() : catalog_(std::make_shared<storage::Catalog>()) {}
+
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// One-liner for the common case: the named builtin dataset (the
+  /// Table I stand-ins WB/AS/WT/LJ/EN/OK) loaded as relation "G".
+  static StatusOr<Database> OpenBuiltin(const std::string& dataset,
+                                        double scale = 1.0);
+
+  /// Generates builtin dataset `dataset` and registers it as `as`.
+  Status LoadBuiltin(const std::string& dataset, double scale = 1.0,
+                     const std::string& as = "G");
+
+  /// Loads a SNAP-format text edge list and registers it as `as`.
+  Status LoadEdgeList(const std::string& path, const std::string& as = "G");
+
+  /// Registers an already-built relation (replacing any previous
+  /// binding of `name`).
+  void AddRelation(const std::string& name, storage::Relation rel);
+
+  const storage::Catalog& catalog() const { return *catalog_; }
+  std::vector<std::string> relation_names() const;
+  uint64_t total_tuples() const;
+
+  /// A session with default options; customize via Session::options().
+  Session OpenSession() const;
+
+ private:
+  std::shared_ptr<storage::Catalog> catalog_;
+};
+
+}  // namespace adj::api
+
+#endif  // ADJ_API_DATABASE_H_

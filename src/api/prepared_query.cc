@@ -1,0 +1,24 @@
+#include "api/prepared_query.h"
+
+namespace adj::api {
+
+Result PreparedQuery::Run() {
+  if (!prepared_) {
+    return Result(Status::Internal("empty prepared query (default "
+                                   "constructed; use Session::Prepare)"));
+  }
+  core::Engine engine(db_.get());
+  StatusOr<exec::RunReport> report =
+      engine.ExecutePlan(query_, planned_.plan, options_);
+  if (!report.ok()) return Result(report.status());
+  if (report->ok() && !planning_charged_->exchange(true)) {
+    report->optimize_s = planned_.optimize_s;
+  }
+  core::SpjResult run;
+  run.report = std::move(report.value());
+  run.projected_count = run.report.output_count;
+  run.pushed_down_filtered = selection_filtered_;
+  return Result(std::move(run));
+}
+
+}  // namespace adj::api

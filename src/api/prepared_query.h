@@ -1,0 +1,79 @@
+#ifndef ADJ_API_PREPARED_QUERY_H_
+#define ADJ_API_PREPARED_QUERY_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "api/result.h"
+#include "core/engine.h"
+#include "core/options.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+
+namespace adj::api {
+
+/// A query planned once and executable many times — the serving
+/// pattern the facade exists for. Session::Prepare runs ADJ's full
+/// planning stage (GHD search, sampling, Alg. 2) and pushes equality
+/// selections down into a private reduced catalog; Run() then executes
+/// the cached plan with no re-planning. The one-time planning cost is
+/// charged to the first successful Run()'s optimize_s so totals stay
+/// honest; every later run — including runs of copies, which share the
+/// charge — reports optimize_s = 0.
+///
+/// Proper projections are not supported (Prepare fails); prepared
+/// queries always execute under ADJ co-optimization, which is the only
+/// strategy with a plan to cache.
+///
+/// Not thread-safe — use one PreparedQuery per client thread (they are
+/// copyable, and copies share the reduced catalog).
+class PreparedQuery {
+ public:
+  /// An unprepared query; Run() fails. Exists so StatusOr/containers
+  /// can hold PreparedQuery — real instances come from
+  /// Session::Prepare.
+  PreparedQuery() = default;
+
+  /// The (selection-rewritten) join body the cached plan executes.
+  const query::Query& query() const { return query_; }
+
+  /// EXPLAIN-style rendering of the cached plan (hypertree, traversal,
+  /// per-node estimates, predicted costs).
+  const std::string& explanation() const { return planned_.explanation; }
+
+  /// One-time planning cost paid at Prepare time (plan search +
+  /// sampling, wall clock).
+  double planning_seconds() const { return planned_.optimize_s; }
+
+  /// Executes the cached plan against the session's catalog.
+  Result Run();
+
+ private:
+  friend class Session;
+
+  PreparedQuery(std::shared_ptr<const storage::Catalog> db,
+                query::Query query, uint64_t selection_filtered,
+                core::PlanResult planned, core::EngineOptions options)
+      : db_(std::move(db)),
+        query_(std::move(query)),
+        selection_filtered_(selection_filtered),
+        planned_(std::move(planned)),
+        options_(std::move(options)),
+        prepared_(true) {}
+
+  std::shared_ptr<const storage::Catalog> db_;  // base or pushed-down
+  query::Query query_;
+  uint64_t selection_filtered_ = 0;
+  core::PlanResult planned_;
+  core::EngineOptions options_;  // snapshot of the session's options
+  bool prepared_ = false;
+  // Shared across copies so the one-time planning cost is charged to
+  // exactly one run no matter which copy executes first.
+  std::shared_ptr<std::atomic<bool>> planning_charged_ =
+      std::make_shared<std::atomic<bool>>(false);
+};
+
+}  // namespace adj::api
+
+#endif  // ADJ_API_PREPARED_QUERY_H_

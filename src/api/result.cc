@@ -1,0 +1,20 @@
+#include "api/result.h"
+
+#include <cstdio>
+
+namespace adj::api {
+
+std::string Result::ToString() const {
+  if (!ok()) return "error: " + status_.ToString();
+  // Strategy names are arbitrary (runtime-registered), so only the
+  // fixed-width numeric tail goes through the stack buffer.
+  char costs[128];
+  std::snprintf(costs, sizeof(costs),
+                " total=%.3fs (opt=%.3f pre=%.3f comm=%.3f comp=%.3f)",
+                total_seconds(), optimize_seconds(), precompute_seconds(),
+                communication_seconds(), computation_seconds());
+  return "count=" + std::to_string(count()) + " strategy=" + strategy() +
+         costs;
+}
+
+}  // namespace adj::api

@@ -1,0 +1,67 @@
+#ifndef ADJ_API_RESULT_H_
+#define ADJ_API_RESULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/spj.h"
+#include "exec/run_report.h"
+
+namespace adj::api {
+
+/// Outcome of one query executed through the facade. Failures are
+/// folded in rather than wrapped in StatusOr: a Result always exists,
+/// ok() says whether the run produced an answer, and status() carries
+/// the error either way — to a serving client, a setup error (unknown
+/// relation, malformed query, unknown strategy) and a per-run failure
+/// (memory overflow, timeout) are both "this query did not answer".
+class Result {
+ public:
+  /// An empty, failed result (what RunBatch slots hold before a worker
+  /// fills them).
+  Result() : Result(Status::Internal("empty result")) {}
+  /// A result that failed before execution.
+  explicit Result(Status error) : status_(std::move(error)) {}
+  /// A completed run; per-run failures are lifted out of the report.
+  explicit Result(core::SpjResult run)
+      : status_(run.report.status), run_(std::move(run)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Number of output tuples (distinct projected tuples when the query
+  /// projects). 0 on failure.
+  uint64_t count() const { return ok() ? run_.projected_count : 0; }
+
+  /// Tuples removed from base relations by selection push-down.
+  uint64_t selection_filtered() const { return run_.pushed_down_filtered; }
+
+  /// Strategy that produced the result ("ADJ", "HCubeJ", ...); empty
+  /// if the run never started.
+  const std::string& strategy() const { return run_.report.method; }
+
+  /// Paper-style cost breakdown, in (modeled + measured) seconds.
+  double total_seconds() const { return run_.report.TotalSeconds(); }
+  double optimize_seconds() const { return run_.report.optimize_s; }
+  double precompute_seconds() const { return run_.report.precompute_s; }
+  double communication_seconds() const { return run_.report.comm_s; }
+  double computation_seconds() const { return run_.report.comp_s; }
+
+  /// Full underlying execution report (shuffle volumes, per-level
+  /// intermediate counts, plan description).
+  const exec::RunReport& report() const { return run_.report; }
+
+  /// Stable one-line rendering:
+  ///   "count=N strategy=S total=T.TTTs (opt=.. pre=.. comm=.. comp=..)"
+  /// or "error: <status>".
+  std::string ToString() const;
+
+ private:
+  Status status_;
+  core::SpjResult run_;
+};
+
+}  // namespace adj::api
+
+#endif  // ADJ_API_RESULT_H_

@@ -1,0 +1,83 @@
+#include "api/session.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+#include "core/engine.h"
+#include "core/spj.h"
+#include "dist/thread_pool.h"
+
+namespace adj::api {
+
+Result Session::Run(const std::string& query_text,
+                    const std::string& strategy) const {
+  StatusOr<core::SpjQuery> spj = core::ParseSpj(query_text);
+  if (!spj.ok()) return Result(spj.status());
+  StatusOr<core::SpjResult> run = core::RunSpj(*db_, *spj, strategy, options_);
+  if (!run.ok()) return Result(run.status());
+  return Result(std::move(run.value()));
+}
+
+Result Session::Run(const query::Query& q,
+                    const std::string& strategy) const {
+  core::Engine engine(db_.get());
+  StatusOr<exec::RunReport> report = engine.Run(q, strategy, options_);
+  if (!report.ok()) return Result(report.status());
+  core::SpjResult run;
+  run.report = std::move(report.value());
+  run.projected_count = run.report.output_count;
+  return Result(std::move(run));
+}
+
+StatusOr<PreparedQuery> Session::Prepare(const std::string& query_text) const {
+  StatusOr<core::SpjQuery> spj = core::ParseSpj(query_text);
+  if (!spj.ok()) return spj.status();
+  if (spj->projection != 0 && spj->projection != spj->join.AllAttrs()) {
+    return Status::InvalidArgument(
+        "prepared queries do not support proper projections yet; "
+        "run the projecting query through Session::Run");
+  }
+
+  // Selections are pushed down once, here, into a catalog the prepared
+  // query owns — every later Run() starts from the reduced database.
+  std::shared_ptr<const storage::Catalog> db = db_;
+  query::Query join = spj->join;
+  uint64_t filtered = 0;
+  if (!spj->selections.empty()) {
+    StatusOr<core::PushedDown> pushed = core::PushDownSelections(*db_, *spj);
+    if (!pushed.ok()) return pushed.status();
+    filtered = pushed->filtered;
+    join = std::move(pushed->query);
+    db = std::make_shared<const storage::Catalog>(std::move(pushed->catalog));
+  }
+
+  core::Engine engine(db.get());
+  StatusOr<core::PlanResult> planned = engine.Plan(join, options_);
+  if (!planned.ok()) return planned.status();
+  return PreparedQuery(std::move(db), std::move(join), filtered,
+                       std::move(planned.value()), options_);
+}
+
+std::vector<Result> Session::RunBatch(const std::vector<BatchQuery>& queries,
+                                      int threads) const {
+  std::vector<Result> results(queries.size());
+  if (queries.empty()) return results;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = int(std::min<size_t>(queries.size(), hw > 0 ? hw : 4));
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    tasks.push_back([this, &queries, &results, i] {
+      const BatchQuery& bq = queries[i];
+      results[i] =
+          Run(bq.text, bq.strategy.empty() ? default_strategy_ : bq.strategy);
+    });
+  }
+  dist::RunTasks(threads, tasks);
+  return results;
+}
+
+}  // namespace adj::api

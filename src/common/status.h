@@ -75,6 +75,7 @@ class StatusOr {
   T&& value() && { return std::move(value_); }
   const T& operator*() const& { return value_; }
   T& operator*() & { return value_; }
+  T&& operator*() && { return std::move(value_); }
   const T* operator->() const { return &value_; }
   T* operator->() { return &value_; }
 

@@ -4,8 +4,7 @@
 #include <limits>
 
 #include "common/timer.h"
-#include "exec/bigjoin.h"
-#include "exec/binary_join.h"
+#include "core/strategy_registry.h"
 #include "exec/hcubej.h"
 #include "exec/precompute.h"
 #include "ghd/decomposition.h"
@@ -262,18 +261,26 @@ StatusOr<exec::RunReport> Engine::RunCoOpt(const query::Query& q,
                                            const EngineOptions& options) {
   StatusOr<PlanResult> planned = Plan(q, options);
   if (!planned.ok()) return planned.status();
-  const optimizer::QueryPlan& plan = planned->plan;
+  StatusOr<exec::RunReport> report = ExecutePlan(q, planned->plan, options);
+  if (!report.ok()) return report;
+  report->optimize_s = planned->optimize_s;
+  return report;
+}
 
+StatusOr<exec::RunReport> Engine::ExecutePlan(const query::Query& q,
+                                              const optimizer::QueryPlan& plan,
+                                              const EngineOptions& options) {
   exec::RunReport report;
   report.method = "ADJ";
-  report.optimize_s = planned->optimize_s;
   report.plan_description = plan.ToString(q);
 
   dist::Cluster cluster(options.cluster);
 
   // Pre-compute the chosen bags and register them in an execution
   // catalog (bag relations + the base relations the rewritten query
-  // still references).
+  // still references). The base-relation copies are per-run overhead
+  // on the prepared-query serving path; caching them across runs
+  // needs a borrowed-relation mode in storage::Catalog (ROADMAP).
   exec::RewrittenQuery rewritten =
       exec::RewriteWithBags(q, plan.decomp, plan.precompute);
   storage::Catalog exec_db;
@@ -348,25 +355,15 @@ StatusOr<exec::RunReport> Engine::RunCommFirst(const query::Query& q,
 
 StatusOr<exec::RunReport> Engine::Run(const query::Query& q, Strategy s,
                                       const EngineOptions& options) {
-  switch (s) {
-    case Strategy::kCoOpt:
-      return RunCoOpt(q, options);
-    case Strategy::kCommFirst:
-      return RunCommFirst(q, options, /*cached=*/false);
-    case Strategy::kCachedCommFirst:
-      return RunCommFirst(q, options, /*cached=*/true);
-    case Strategy::kBinaryJoin: {
-      dist::Cluster cluster(options.cluster);
-      return exec::RunBinaryJoin(q, *db_, &cluster, options.limits);
-    }
-    case Strategy::kBigJoin: {
-      StatusOr<query::AttributeOrder> order = SelectCommFirstOrder(q);
-      if (!order.ok()) return order.status();
-      dist::Cluster cluster(options.cluster);
-      return exec::RunBigJoin(q, *db_, *order, &cluster, options.limits);
-    }
-  }
-  return Status::InvalidArgument("unknown strategy");
+  return Run(q, StrategyName(s), options);
+}
+
+StatusOr<exec::RunReport> Engine::Run(const query::Query& q,
+                                      const std::string& strategy,
+                                      const EngineOptions& options) {
+  StatusOr<StrategyFn> fn = StrategyRegistry::Global().Find(strategy);
+  if (!fn.ok()) return fn.status();
+  return (*fn)(*this, q, options);
 }
 
 }  // namespace adj::core

@@ -29,9 +29,11 @@ struct PlanResult {
   std::string explanation;
 };
 
-/// Public entry point of the library: run a natural-join query on a
-/// simulated cluster under one of the five strategies of the paper's
-/// evaluation, returning the paper-style cost breakdown.
+/// Query-execution engine over one catalog: run a natural-join query
+/// on a simulated cluster under any registered strategy, returning the
+/// paper-style cost breakdown. (Clients normally go through the
+/// api::Database / api::Session facade, which layers sessions,
+/// prepared queries, and batch execution on top of this class.)
 ///
 /// Typical use:
 ///   storage::Catalog db;
@@ -49,10 +51,25 @@ class Engine {
   StatusOr<exec::RunReport> Run(const query::Query& q, Strategy s,
                                 const EngineOptions& options);
 
+  /// Same, dispatching by StrategyRegistry name — the five paper
+  /// strategies under their StrategyName()s plus anything registered
+  /// at runtime. NotFound for unregistered names.
+  StatusOr<exec::RunReport> Run(const query::Query& q,
+                                const std::string& strategy,
+                                const EngineOptions& options);
+
   /// ADJ's planning stage only (GHD + sampling + Alg. 2) — used by
   /// the optimizer-focused benches.
   StatusOr<PlanResult> Plan(const query::Query& q,
                             const EngineOptions& options);
+
+  /// Executes an already-computed ADJ plan: materializes the plan's
+  /// pre-computed bags and runs the final one-round join. Leaves the
+  /// report's optimize_s at zero — the caller owns charging plan time,
+  /// so a prepared query can re-use one plan across many executions.
+  StatusOr<exec::RunReport> ExecutePlan(const query::Query& q,
+                                        const optimizer::QueryPlan& plan,
+                                        const EngineOptions& options);
 
   /// The comm-first baseline's attribute-order selection: best
   /// sketch-scored order among *all* n! orders ("All-Selected" in
@@ -60,13 +77,17 @@ class Engine {
   StatusOr<query::AttributeOrder> SelectCommFirstOrder(
       const query::Query& q) const;
 
- private:
+  /// Strategy building blocks — the StrategyRegistry's default entries
+  /// (kept public so runtime-registered strategies can compose them).
   StatusOr<exec::RunReport> RunCoOpt(const query::Query& q,
                                      const EngineOptions& options);
   StatusOr<exec::RunReport> RunCommFirst(const query::Query& q,
                                          const EngineOptions& options,
                                          bool cached);
 
+  const storage::Catalog& db() const { return *db_; }
+
+ private:
   const storage::Catalog* db_;
 };
 

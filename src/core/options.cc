@@ -18,4 +18,18 @@ const char* StrategyName(Strategy s) {
   return "?";
 }
 
+StatusOr<Strategy> StrategyFromName(const std::string& name) {
+  for (Strategy s : AllStrategies()) {
+    if (name == StrategyName(s)) return s;
+  }
+  return Status::InvalidArgument("unknown strategy: " + name);
+}
+
+const std::vector<Strategy>& AllStrategies() {
+  static const std::vector<Strategy>* kAll = new std::vector<Strategy>{
+      Strategy::kBinaryJoin, Strategy::kBigJoin, Strategy::kCommFirst,
+      Strategy::kCachedCommFirst, Strategy::kCoOpt};
+  return *kAll;
+}
+
 }  // namespace adj::core

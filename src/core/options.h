@@ -2,7 +2,10 @@
 #define ADJ_CORE_OPTIONS_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
+#include "common/status.h"
 #include "dist/cluster.h"
 #include "dist/hcube.h"
 #include "wcoj/leapfrog.h"
@@ -19,6 +22,17 @@ enum class Strategy {
 };
 
 const char* StrategyName(Strategy s);
+
+/// Inverse of StrategyName: resolves one of the five paper strategy
+/// names ("ADJ", "HCubeJ", "HCubeJ+Cache", "SparkSQL", "BigJoin");
+/// InvalidArgument for anything else. Strategies registered at runtime
+/// have no enum value — look those up via core::StrategyRegistry.
+StatusOr<Strategy> StrategyFromName(const std::string& name);
+
+/// All five paper strategies, in the evaluation's canonical
+/// multi-round-to-ADJ order (SparkSQL, BigJoin, HCubeJ, HCubeJ+Cache,
+/// ADJ — the column order of Fig. 12).
+const std::vector<Strategy>& AllStrategies();
 
 struct EngineOptions {
   dist::ClusterConfig cluster;

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <set>
 
+#include "core/strategy_registry.h"
 #include "exec/hcubej.h"
 
 namespace adj::core {
@@ -149,45 +150,69 @@ StatusOr<PushedDown> PushDownSelections(const storage::Catalog& db,
 
 StatusOr<SpjResult> RunSpj(const storage::Catalog& db, const SpjQuery& spj,
                            Strategy strategy, const EngineOptions& options) {
+  return RunSpj(db, spj, std::string(StrategyName(strategy)), options);
+}
+
+StatusOr<SpjResult> RunSpj(const storage::Catalog& db, const SpjQuery& spj,
+                           const std::string& strategy,
+                           const EngineOptions& options) {
+  // 0. Resolve the strategy up front so an unknown name errors the
+  //    same way on the counting and the projecting path (and the
+  //    counting path can invoke it without a second registry lookup).
+  StatusOr<StrategyFn> fn = StrategyRegistry::Global().Find(strategy);
+  if (!fn.ok()) return fn.status();
+
   // 1. Selection push-down shrinks shuffle volume, sampling domain,
-  //    and the join itself before any planning happens.
-  StatusOr<PushedDown> pushed = PushDownSelections(db, spj);
-  if (!pushed.ok()) return pushed.status();
-  const query::Query& rewritten = pushed->query;
-  const storage::Catalog& reduced = pushed->catalog;
+  //    and the join itself before any planning happens. Selection-free
+  //    queries (the serving hot path) run straight against the
+  //    caller's catalog — push-down would deep-copy every base
+  //    relation per query.
+  SpjResult result;
+  PushedDown pushed;
+  const query::Query* rewritten = &spj.join;
+  const storage::Catalog* reduced = &db;
+  if (!spj.selections.empty()) {
+    StatusOr<PushedDown> pushed_or = PushDownSelections(db, spj);
+    if (!pushed_or.ok()) return pushed_or.status();
+    pushed = std::move(pushed_or.value());
+    rewritten = &pushed.query;
+    reduced = &pushed.catalog;
+    result.pushed_down_filtered = pushed.filtered;
+  }
 
   // 2. Run the join; when no (proper) projection is requested the
   //    engine's counting path suffices.
-  SpjResult result;
-  result.pushed_down_filtered = pushed->filtered;
-  Engine engine(&reduced);
-  if (spj.projection == 0 || spj.projection == rewritten.AllAttrs()) {
-    StatusOr<exec::RunReport> report =
-        engine.Run(rewritten, strategy, options);
+  Engine engine(reduced);
+  if (spj.projection == 0 || spj.projection == rewritten->AllAttrs()) {
+    StatusOr<exec::RunReport> report = (*fn)(engine, *rewritten, options);
     if (!report.ok()) return report.status();
     result.report = std::move(report.value());
     result.projected_count = result.report.output_count;
     return result;
   }
 
-  // 3. Projection with DISTINCT: collect, project, dedupe. The join
-  //    itself still uses the one-round machinery.
+  // 3. Projection with DISTINCT: collect, project, dedupe. Output
+  //    tuples must be materialized, which only the one-round HCubeJ
+  //    collector supports — `strategy` picks its cache variant, any
+  //    other name falls back to plain HCubeJ (the report's `method`
+  //    names the executor actually used).
   query::AttributeOrder order;
-  for (int a = 0; a < rewritten.num_attrs(); ++a) order.push_back(a);
+  for (int a = 0; a < rewritten->num_attrs(); ++a) order.push_back(a);
   dist::Cluster cluster(options.cluster);
   exec::HCubeJParams params;
   params.variant = options.hcube_variant;
   params.limits = options.limits;
+  params.use_cache = strategy == StrategyName(Strategy::kCachedCommFirst);
   params.collect_output = true;
   StatusOr<exec::HCubeJOutput> run =
-      exec::RunHCubeJ(rewritten, reduced, order, params, &cluster);
+      exec::RunHCubeJ(*rewritten, *reduced, order, params, &cluster);
   if (!run.ok()) return run.status();
   result.report = run->report;
   if (!result.report.ok()) return result;
 
   std::vector<int> cols;
   std::vector<AttrId> kept;
-  for (int a = 0; a < rewritten.num_attrs(); ++a) {
+  for (int a = 0; a < rewritten->num_attrs(); ++a) {
     if (spj.projection & (AttrMask(1) << a)) {
       cols.push_back(run->results.schema().PositionOf(a));
       kept.push_back(a);

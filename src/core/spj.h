@@ -46,8 +46,21 @@ struct SpjResult {
 /// base relations before planning (shrinking both the shuffle volume
 /// and the sampling domain), the join runs under `strategy`, and the
 /// projection is applied with duplicate elimination at the end.
+///
+/// Caveat: a *proper* projection must materialize output tuples,
+/// which only the one-round HCubeJ collector supports today — for
+/// such queries `strategy` only selects between the HCubeJ variants
+/// and everything else falls back to plain HCubeJ. The report's
+/// `method` always names the executor actually used.
 StatusOr<SpjResult> RunSpj(const storage::Catalog& db, const SpjQuery& spj,
                            Strategy strategy, const EngineOptions& options);
+
+/// Same, dispatching the join by StrategyRegistry name (the paper's
+/// five strategies plus anything registered at runtime). NotFound for
+/// unregistered names.
+StatusOr<SpjResult> RunSpj(const storage::Catalog& db, const SpjQuery& spj,
+                           const std::string& strategy,
+                           const EngineOptions& options);
 
 /// Selection push-down alone (exposed for tests and for users who
 /// want to plan on the reduced database): every atom touched by a

@@ -1,0 +1,65 @@
+#ifndef ADJ_CORE_STRATEGY_REGISTRY_H_
+#define ADJ_CORE_STRATEGY_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/options.h"
+#include "exec/run_report.h"
+#include "query/query.h"
+
+namespace adj::core {
+
+class Engine;
+
+/// A pluggable execution strategy: given an engine (catalog access plus
+/// the planning helpers), a query, and options, produce the paper-style
+/// cost report. Per-run failures (memory, time) travel in
+/// report.status; setup errors (unknown relation, malformed query) in
+/// the outer Status — same contract as Engine::Run.
+using StrategyFn = std::function<StatusOr<exec::RunReport>(
+    Engine&, const query::Query&, const EngineOptions&)>;
+
+/// String-keyed registry of execution strategies. The five strategies
+/// of the paper's evaluation are registered under their canonical
+/// StrategyName()s at startup; clients (drivers, tests, plugins) add
+/// new executors at runtime without touching core::Strategy. All
+/// operations are thread-safe, so registered strategies are runnable
+/// from concurrent sessions.
+class StrategyRegistry {
+ public:
+  /// The process-wide registry, pre-populated with the paper's five
+  /// strategies (ADJ, HCubeJ, HCubeJ+Cache, SparkSQL, BigJoin).
+  static StrategyRegistry& Global();
+
+  /// Registers `fn` under `name`. Names are unique: registering an
+  /// already-taken name (including the builtin five) is
+  /// InvalidArgument, so a plugin cannot silently shadow ADJ.
+  Status Register(const std::string& name, StrategyFn fn);
+
+  /// The strategy registered under `name`, or NotFound listing the
+  /// registered names.
+  StatusOr<StrategyFn> Find(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  StrategyRegistry() = default;
+
+  /// Installs the five paper strategies (called once by Global()).
+  void RegisterPaperStrategies();
+
+  mutable std::mutex mu_;
+  std::map<std::string, StrategyFn> strategies_;
+};
+
+}  // namespace adj::core
+
+#endif  // ADJ_CORE_STRATEGY_REGISTRY_H_
