@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full ctest suite.
 # Mirrors the command pinned in ROADMAP.md; CI and local runs share it.
-# CMAKE_BUILD_TYPE overrides the build type (CI runs Debug + Release);
-# unset, CMakeLists.txt's RelWithDebInfo default applies.
+# Environment knobs:
+#   CMAKE_BUILD_TYPE  build type (CI runs Debug + Release + a sanitizer
+#                     leg); unset, CMakeLists.txt's RelWithDebInfo
+#                     default applies.
+#   SANITIZE          comma-separated sanitizer list passed through as
+#                     -DADJ_SANITIZE (e.g. "address,undefined").
+#   BUILD_DIR, JOBS   build directory and parallelism.
+# ccache is picked up automatically when installed (CI caches it).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -10,8 +16,18 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 BUILD_DIR="${BUILD_DIR:-build}"
 BUILD_TYPE="${CMAKE_BUILD_TYPE:-}"
+SANITIZE="${SANITIZE:-}"
 
+LAUNCHER=""
+if command -v ccache > /dev/null 2>&1; then
+  LAUNCHER=ccache
+fi
+
+# ADJ_SANITIZE is passed unconditionally (empty included) so a reused
+# build dir cannot keep a stale cached sanitizer setting.
 cmake -B "${BUILD_DIR}" -S . \
-  ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="${BUILD_TYPE}"}
+  ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="${BUILD_TYPE}"} \
+  -DADJ_SANITIZE="${SANITIZE}" \
+  ${LAUNCHER:+-DCMAKE_CXX_COMPILER_LAUNCHER="${LAUNCHER}"}
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"

@@ -7,12 +7,12 @@ Result PreparedQuery::Run() {
     return Result(Status::Internal("empty prepared query (default "
                                    "constructed; use Session::Prepare)"));
   }
-  core::Engine engine(db_.get());
-  StatusOr<exec::RunReport> report =
-      engine.ExecutePlan(query_, planned_.plan, options_);
+  core::Engine engine(&ctx_->db);
+  StatusOr<exec::RunReport> report = engine.RunPrepared(*ctx_, options_);
   if (!report.ok()) return Result(report.status());
   if (report->ok() && !planning_charged_->exchange(true)) {
     report->optimize_s = planned_.optimize_s;
+    ctx_->ChargePrecompute(&report.value());
   }
   core::SpjResult run;
   run.report = std::move(report.value());

@@ -55,8 +55,19 @@ StatusOr<PreparedQuery> Session::Prepare(const std::string& query_text) const {
   core::Engine engine(db.get());
   StatusOr<core::PlanResult> planned = engine.Plan(join, options_);
   if (!planned.ok()) return planned.status();
-  return PreparedQuery(std::move(db), std::move(join), filtered,
-                       std::move(planned.value()), options_);
+
+  // Build the execution context now — base relations aliased into the
+  // execution catalog, pre-computed bags materialized once — so every
+  // Run() is just the final join round. A bag-materialization failure
+  // (memory/time limits) is a per-run failure and stays folded into
+  // the runs' Results, matching direct execution.
+  StatusOr<core::ExecutionContext> ctx =
+      engine.PrepareExecution(join, planned->plan, options_);
+  if (!ctx.ok()) return ctx.status();
+  return PreparedQuery(
+      std::move(join), filtered, std::move(planned.value()),
+      std::make_shared<const core::ExecutionContext>(std::move(ctx.value())),
+      options_);
 }
 
 std::vector<Result> Session::RunBatch(const std::vector<BatchQuery>& queries,

@@ -267,52 +267,67 @@ StatusOr<exec::RunReport> Engine::RunCoOpt(const query::Query& q,
   return report;
 }
 
-StatusOr<exec::RunReport> Engine::ExecutePlan(const query::Query& q,
-                                              const optimizer::QueryPlan& plan,
-                                              const EngineOptions& options) {
-  exec::RunReport report;
-  report.method = "ADJ";
-  report.plan_description = plan.ToString(q);
+StatusOr<ExecutionContext> Engine::PrepareExecution(
+    const query::Query& q, const optimizer::QueryPlan& plan,
+    const EngineOptions& options) {
+  ExecutionContext ctx;
+  ctx.order = plan.order;
+  ctx.plan_description = plan.ToString(q);
 
-  dist::Cluster cluster(options.cluster);
-
-  // Pre-compute the chosen bags and register them in an execution
-  // catalog (bag relations + the base relations the rewritten query
-  // still references). The base-relation copies are per-run overhead
-  // on the prepared-query serving path; caching them across runs
-  // needs a borrowed-relation mode in storage::Catalog (ROADMAP).
+  // Build the execution catalog: the base relations the rewritten
+  // query still references are aliased — shared, never copied — from
+  // the engine's catalog, so preparing (and every later run) is
+  // O(query) in base-relation cost.
   exec::RewrittenQuery rewritten =
       exec::RewriteWithBags(q, plan.decomp, plan.precompute);
-  storage::Catalog exec_db;
   for (const query::Atom& atom : rewritten.query.atoms()) {
-    if (exec_db.Contains(atom.relation) ||
+    if (ctx.db.Contains(atom.relation) ||
         atom.relation.rfind("__bag", 0) == 0) {
       continue;
     }
-    StatusOr<const storage::Relation*> base = db_->Get(atom.relation);
+    StatusOr<std::shared_ptr<const storage::Relation>> base =
+        db_->GetShared(atom.relation);
     if (!base.ok()) return base.status();
-    exec_db.Put(atom.relation, **base);  // copy; datasets are small
+    ADJ_RETURN_IF_ERROR(ctx.db.PutShared(atom.relation, std::move(*base)));
   }
+  ctx.query = std::move(rewritten.query);
+
+  // Materialize the plan's pre-computed bags exactly once; their cost
+  // is the context's to hand out (first-run attribution).
+  dist::Cluster cluster(options.cluster);
   for (const auto& [name, bag_index] : rewritten.bag_atoms) {
     StatusOr<exec::PrecomputeResult> bag = exec::MaterializeBag(
         q, *db_, plan.decomp.bags[size_t(bag_index)], &cluster,
         options.limits);
     if (!bag.ok()) {
-      report.status = bag.status();
-      return report;
+      ctx.precompute_status = bag.status();
+      return ctx;
     }
-    report.precompute_s += bag->comm_s + bag->comp_s +
-                           options.cluster.net.stage_overhead_s;
-    report.precompute_comm.Add(bag->comm);
-    exec_db.Put(name, std::move(bag->rel));
+    ctx.precompute_s += bag->comm_s + bag->comp_s +
+                        options.cluster.net.stage_overhead_s;
+    ctx.precompute_comm.Add(bag->comm);
+    ctx.db.Put(name, std::move(bag->rel));
+  }
+  return ctx;
+}
+
+StatusOr<exec::RunReport> Engine::RunPrepared(const ExecutionContext& ctx,
+                                              const EngineOptions& options) {
+  exec::RunReport report;
+  report.method = "ADJ";
+  report.plan_description = ctx.plan_description;
+  if (!ctx.precompute_status.ok()) {
+    report.status = ctx.precompute_status;
+    return report;
   }
 
   // Final one-round join of the rewritten query under the plan order.
+  dist::Cluster cluster(options.cluster);
   exec::HCubeJParams params;
   params.variant = options.hcube_variant;
   params.limits = options.limits;
-  StatusOr<exec::HCubeJOutput> run = exec::RunHCubeJ(
-      rewritten.query, exec_db, plan.order, params, &cluster);
+  StatusOr<exec::HCubeJOutput> run =
+      exec::RunHCubeJ(ctx.query, ctx.db, ctx.order, params, &cluster);
   if (!run.ok()) {
     report.status = run.status();
     return report;
@@ -326,6 +341,17 @@ StatusOr<exec::RunReport> Engine::ExecutePlan(const query::Query& q,
   report.tuples_at_level = run->report.tuples_at_level;
   report.extensions = run->report.extensions;
   report.rounds = 1;
+  return report;
+}
+
+StatusOr<exec::RunReport> Engine::ExecutePlan(const query::Query& q,
+                                              const optimizer::QueryPlan& plan,
+                                              const EngineOptions& options) {
+  StatusOr<ExecutionContext> ctx = PrepareExecution(q, plan, options);
+  if (!ctx.ok()) return ctx.status();
+  StatusOr<exec::RunReport> report = RunPrepared(*ctx, options);
+  if (!report.ok()) return report;
+  ctx->ChargePrecompute(&report.value());
   return report;
 }
 

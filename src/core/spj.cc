@@ -111,8 +111,10 @@ StatusOr<PushedDown> PushDownSelections(const storage::Catalog& db,
   std::vector<query::Atom> new_atoms;
   for (int i = 0; i < spj.join.num_atoms(); ++i) {
     const query::Atom& atom = spj.join.atom(i);
-    StatusOr<const storage::Relation*> base = db.Get(atom.relation);
-    if (!base.ok()) return base.status();
+    StatusOr<std::shared_ptr<const storage::Relation>> shared =
+        db.GetShared(atom.relation);
+    if (!shared.ok()) return shared.status();
+    const storage::Relation* base = shared->get();
     // Which selections touch this atom?
     std::vector<std::pair<int, Value>> filters;  // column, value
     for (const SpjQuery::Selection& sel : spj.selections) {
@@ -121,23 +123,26 @@ StatusOr<PushedDown> PushDownSelections(const storage::Catalog& db,
     }
     if (filters.empty()) {
       if (!out.catalog.Contains(atom.relation)) {
-        out.catalog.Put(atom.relation, **base);
+        // Untouched base relations are aliased, not copied — push-down
+        // cost scales with the filtered atoms only.
+        ADJ_RETURN_IF_ERROR(
+            out.catalog.PutShared(atom.relation, std::move(*shared)));
       }
       new_atoms.push_back(atom);
       continue;
     }
-    storage::Relation filtered(storage::Schema((*base)->schema()));
-    for (uint64_t r = 0; r < (*base)->size(); ++r) {
+    storage::Relation filtered(storage::Schema(base->schema()));
+    for (uint64_t r = 0; r < base->size(); ++r) {
       bool keep = true;
       for (const auto& [pos, value] : filters) {
-        if ((*base)->At(r, pos) != value) {
+        if (base->At(r, pos) != value) {
           keep = false;
           break;
         }
       }
-      if (keep) filtered.Append((*base)->Row(r));
+      if (keep) filtered.Append(base->Row(r));
     }
-    out.filtered += (*base)->size() - filtered.size();
+    out.filtered += base->size() - filtered.size();
     const std::string name = atom.relation + "__sel" + std::to_string(i);
     out.catalog.Put(name, std::move(filtered));
     query::Atom new_atom = atom;
@@ -163,22 +168,17 @@ StatusOr<SpjResult> RunSpj(const storage::Catalog& db, const SpjQuery& spj,
   if (!fn.ok()) return fn.status();
 
   // 1. Selection push-down shrinks shuffle volume, sampling domain,
-  //    and the join itself before any planning happens. Selection-free
-  //    queries (the serving hot path) run straight against the
-  //    caller's catalog — push-down would deep-copy every base
-  //    relation per query.
+  //    and the join itself before any planning happens. Untouched base
+  //    relations are aliased into the reduced catalog at zero copy
+  //    cost, so the selection-free serving hot path takes the same
+  //    route as selective queries — it just aliases every atom.
+  StatusOr<PushedDown> pushed_or = PushDownSelections(db, spj);
+  if (!pushed_or.ok()) return pushed_or.status();
+  PushedDown pushed = std::move(pushed_or.value());
   SpjResult result;
-  PushedDown pushed;
-  const query::Query* rewritten = &spj.join;
-  const storage::Catalog* reduced = &db;
-  if (!spj.selections.empty()) {
-    StatusOr<PushedDown> pushed_or = PushDownSelections(db, spj);
-    if (!pushed_or.ok()) return pushed_or.status();
-    pushed = std::move(pushed_or.value());
-    rewritten = &pushed.query;
-    reduced = &pushed.catalog;
-    result.pushed_down_filtered = pushed.filtered;
-  }
+  result.pushed_down_filtered = pushed.filtered;
+  const query::Query* rewritten = &pushed.query;
+  const storage::Catalog* reduced = &pushed.catalog;
 
   // 2. Run the join; when no (proper) projection is requested the
   //    engine's counting path suffices.

@@ -65,7 +65,10 @@ StatusOr<SpjResult> RunSpj(const storage::Catalog& db, const SpjQuery& spj,
 /// Selection push-down alone (exposed for tests and for users who
 /// want to plan on the reduced database): every atom touched by a
 /// selection gets a filtered copy of its base relation under a derived
-/// name, and the join is rewritten to reference it.
+/// name, and the join is rewritten to reference it. Atoms no selection
+/// touches are *aliased* into the reduced catalog (shared storage with
+/// `db`, zero copies), so push-down cost scales with the filtered
+/// atoms only — and a selection-free query costs only the aliases.
 struct PushedDown {
   storage::Catalog catalog;
   query::Query query;

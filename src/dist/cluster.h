@@ -41,9 +41,10 @@ struct LocalShard {
 };
 
 /// The simulated cluster: a config plus one LocalShard per server.
-/// Execution strategies shuffle into it (dist::HCubeShuffle), then run
-/// per-server joins over shard(s); the engine re-uses one Cluster
-/// across the pre-computing and final-join stages of a plan.
+/// Execution strategies shuffle into it (dist::HCubeShuffle — which
+/// clears all shard state first, so a Cluster can be fresh per stage
+/// or re-used across stages interchangeably), then run per-server
+/// joins over shard(s).
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config)

@@ -1,9 +1,32 @@
 #include "storage/catalog.h"
 
+#include <set>
+#include <utility>
+
 namespace adj::storage {
 
 void Catalog::Put(const std::string& name, Relation rel) {
-  relations_[name] = std::make_unique<Relation>(std::move(rel));
+  relations_[name] = std::make_shared<const Relation>(std::move(rel));
+}
+
+Status Catalog::PutShared(const std::string& name,
+                          std::shared_ptr<const Relation> rel) {
+  if (rel == nullptr) {
+    return Status::InvalidArgument("null relation for catalog entry: " + name);
+  }
+  relations_[name] = std::move(rel);
+  return Status::OK();
+}
+
+Status Catalog::Alias(const std::string& alias, const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation not in catalog: " + name);
+  }
+  // Copy the handle before the map write so Alias(n, n) stays a no-op.
+  std::shared_ptr<const Relation> rel = it->second;
+  relations_[alias] = std::move(rel);
+  return Status::OK();
 }
 
 bool Catalog::Contains(const std::string& name) const {
@@ -15,7 +38,16 @@ StatusOr<const Relation*> Catalog::Get(const std::string& name) const {
   if (it == relations_.end()) {
     return Status::NotFound("relation not in catalog: " + name);
   }
-  return static_cast<const Relation*>(it->second.get());
+  return it->second.get();
+}
+
+StatusOr<std::shared_ptr<const Relation>> Catalog::GetShared(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation not in catalog: " + name);
+  }
+  return it->second;
 }
 
 std::vector<std::string> Catalog::Names() const {
@@ -27,13 +59,19 @@ std::vector<std::string> Catalog::Names() const {
 
 uint64_t Catalog::TotalTuples() const {
   uint64_t n = 0;
-  for (const auto& [name, rel] : relations_) n += rel->size();
+  std::set<const Relation*> seen;
+  for (const auto& [name, rel] : relations_) {
+    if (seen.insert(rel.get()).second) n += rel->size();
+  }
   return n;
 }
 
 uint64_t Catalog::TotalBytes() const {
   uint64_t n = 0;
-  for (const auto& [name, rel] : relations_) n += rel->SizeBytes();
+  std::set<const Relation*> seen;
+  for (const auto& [name, rel] : relations_) {
+    if (seen.insert(rel.get()).second) n += rel->SizeBytes();
+  }
   return n;
 }
 

@@ -15,6 +15,18 @@ namespace adj::storage {
 /// For the paper's subgraph workloads every query atom is bound to a
 /// copy of the same edge relation; the catalog stores each distinct
 /// physical relation once and atoms reference it by name.
+///
+/// Ownership model: every entry is a shared_ptr<const Relation>, so a
+/// name can either own its relation outright (Put) or borrow one that
+/// another catalog — or another name in this catalog — already holds
+/// (PutShared / Alias). Borrowed entries share physical storage with
+/// their source: Get returns the same pointer for every alias, no
+/// tuple data is copied, and the relation stays alive as long as any
+/// catalog references it, even after the source catalog is destroyed.
+/// This is what lets an execution catalog reference the engine's base
+/// relations per prepared run at zero copy cost. Relations reachable
+/// through a catalog are immutable; replacing a name via Put rebinds
+/// only that name and never affects aliases of the old relation.
 class Catalog {
  public:
   Catalog() = default;
@@ -26,21 +38,41 @@ class Catalog {
   Catalog& operator=(const Catalog&) = delete;
 
   /// Registers `rel` under `name`, replacing any previous binding.
+  /// The catalog (co-)owns the relation.
   void Put(const std::string& name, Relation rel);
+
+  /// Registers an already-shared relation under `name`, replacing any
+  /// previous binding. No tuple data is copied; the relation is kept
+  /// alive for as long as this entry exists. Null `rel` is rejected.
+  Status PutShared(const std::string& name,
+                   std::shared_ptr<const Relation> rel);
+
+  /// Binds `alias` to the physical relation already registered under
+  /// `name` in this catalog (replacing any previous `alias` binding).
+  /// NotFound if `name` has no entry.
+  Status Alias(const std::string& alias, const std::string& name);
 
   bool Contains(const std::string& name) const;
 
-  /// Borrowed pointer; valid until the entry is replaced or the
-  /// catalog is destroyed.
+  /// Borrowed pointer; valid until the entry is replaced or the last
+  /// catalog sharing the relation is destroyed. Aliases of one
+  /// physical relation return pointer-equal results.
   StatusOr<const Relation*> Get(const std::string& name) const;
+
+  /// Shared handle to the entry — the way to alias a relation into
+  /// another catalog (PutShared) without copying it.
+  StatusOr<std::shared_ptr<const Relation>> GetShared(
+      const std::string& name) const;
 
   std::vector<std::string> Names() const;
 
+  /// Totals over *distinct physical* relations: a relation registered
+  /// under several names (Alias/PutShared) is counted once.
   uint64_t TotalTuples() const;
   uint64_t TotalBytes() const;
 
  private:
-  std::map<std::string, std::unique_ptr<Relation>> relations_;
+  std::map<std::string, std::shared_ptr<const Relation>> relations_;
 };
 
 }  // namespace adj::storage

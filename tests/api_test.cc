@@ -147,6 +147,31 @@ TEST(PreparedQueryTest, SecondRunSkipsPlanning) {
   EXPECT_EQ(second.optimize_seconds(), 0.0);
 }
 
+TEST(PreparedQueryTest, SecondRunReportsZeroPrecomputeAndCopyCost) {
+  Database db = SmallDatabase(14, 40, 250);
+  Session session = FastSession(db);
+  StatusOr<PreparedQuery> prepared = session.Prepare("G(a,b) G(b,c) G(c,d)");
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+
+  Result first = prepared->Run();
+  ASSERT_TRUE(first.ok()) << first.status();
+  Result second = prepared->Run();
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second.count(), first.count());
+
+  // The execution context is cached at Prepare time: the second run
+  // re-executes it with zero base-relation copies and zero bag
+  // re-materialization, so every one-time field of its report — plan
+  // search, pre-compute time, pre-compute shuffle volume — is zero.
+  EXPECT_EQ(second.optimize_seconds(), 0.0);
+  EXPECT_EQ(second.precompute_seconds(), 0.0);
+  EXPECT_EQ(second.report().precompute_comm.bytes, 0u);
+  EXPECT_EQ(second.report().precompute_comm.tuple_copies, 0u);
+  // ...while the first run carries the whole one-time charge.
+  EXPECT_GT(first.optimize_seconds(), 0.0);
+  EXPECT_GE(first.precompute_seconds(), 0.0);
+}
+
 TEST(PreparedQueryTest, CopiesShareThePlanningCharge) {
   Database db = SmallDatabase(13);
   Session session = FastSession(db);

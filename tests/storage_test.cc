@@ -160,5 +160,85 @@ TEST(CatalogTest, ReplaceAndTotals) {
   EXPECT_EQ(db.Names(), std::vector<std::string>{"R"});
 }
 
+TEST(CatalogTest, AliasSharesPhysicalStorage) {
+  Catalog db;
+  Relation r(Schema({0, 1}));
+  r.Append({1, 2});
+  db.Put("G", std::move(r));
+  ASSERT_TRUE(db.Alias("G2", "G").ok());
+  ASSERT_TRUE(db.Alias("G3", "G2").ok());
+  EXPECT_TRUE(db.Contains("G2"));
+  // All three names resolve to the same physical relation — no copy.
+  EXPECT_EQ(*db.Get("G2"), *db.Get("G"));
+  EXPECT_EQ(*db.Get("G3"), *db.Get("G"));
+  EXPECT_EQ(db.Names(), (std::vector<std::string>{"G", "G2", "G3"}));
+  // Self-alias is a harmless no-op; aliasing a missing name fails.
+  EXPECT_TRUE(db.Alias("G", "G").ok());
+  EXPECT_EQ(*db.Get("G"), *db.Get("G2"));
+  EXPECT_FALSE(db.Alias("X", "missing").ok());
+  EXPECT_FALSE(db.Contains("X"));
+}
+
+TEST(CatalogTest, TotalsCountAliasedRelationsOnce) {
+  Catalog db;
+  Relation r(Schema({0, 1}));
+  r.Append({1, 2});
+  r.Append({3, 4});
+  db.Put("G", std::move(r));
+  ASSERT_TRUE(db.Alias("G2", "G").ok());
+  EXPECT_EQ(db.TotalTuples(), 2u);
+  EXPECT_EQ(db.TotalBytes(), 4 * sizeof(Value));
+  // A distinct physical relation still adds to the totals.
+  Relation other(Schema({0}));
+  other.Append({7});
+  db.Put("H", std::move(other));
+  EXPECT_EQ(db.TotalTuples(), 3u);
+}
+
+TEST(CatalogTest, PutReplacementRebindsOnlyThatName) {
+  Catalog db;
+  Relation r(Schema({0, 1}));
+  r.Append({1, 2});
+  db.Put("G", std::move(r));
+  ASSERT_TRUE(db.Alias("G2", "G").ok());
+  const Relation* original = *db.Get("G2");
+  // Replacing "G" must not disturb the alias, which co-owns the old
+  // physical relation.
+  Relation fresh(Schema({0, 1}));
+  fresh.Append({5, 6});
+  fresh.Append({7, 8});
+  db.Put("G", std::move(fresh));
+  EXPECT_EQ(*db.Get("G2"), original);
+  EXPECT_EQ((*db.Get("G2"))->At(0, 0), 1u);
+  EXPECT_EQ((*db.Get("G"))->size(), 2u);
+  EXPECT_NE(*db.Get("G"), *db.Get("G2"));
+  EXPECT_EQ(db.TotalTuples(), 3u);  // two distinct physical relations
+}
+
+TEST(CatalogTest, PutSharedBorrowsAcrossCatalogs) {
+  Catalog exec_db;
+  const Relation* borrowed = nullptr;
+  {
+    Catalog source;
+    Relation r(Schema({0, 1}));
+    r.Append({1, 2});
+    source.Put("G", std::move(r));
+    auto shared = source.GetShared("G");
+    ASSERT_TRUE(shared.ok());
+    borrowed = shared->get();
+    ASSERT_TRUE(exec_db.PutShared("G", std::move(shared.value())).ok());
+    EXPECT_EQ(*exec_db.Get("G"), *source.Get("G"));
+    EXPECT_FALSE(source.GetShared("missing").ok());
+  }
+  // The source catalog is gone; shared ownership keeps the relation
+  // alive for the borrowing catalog.
+  ASSERT_TRUE(exec_db.Contains("G"));
+  EXPECT_EQ(*exec_db.Get("G"), borrowed);
+  EXPECT_EQ((*exec_db.Get("G"))->At(0, 1), 2u);
+  EXPECT_EQ(exec_db.TotalTuples(), 1u);
+  EXPECT_FALSE(exec_db.PutShared("null", nullptr).ok());
+  EXPECT_FALSE(exec_db.Contains("null"));
+}
+
 }  // namespace
 }  // namespace adj::storage
