@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in README.md and docs/
+# resolves to an existing file (anchors are stripped; external
+# http(s)/mailto links are skipped — no network access). Run from the
+# repo root; CI and the `markdown_links` ctest share it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FILES=(README.md)
+while IFS= read -r f; do FILES+=("$f"); done < <(find docs -name '*.md' 2>/dev/null | sort)
+
+errors=0
+for file in "${FILES[@]}"; do
+  # Extract the (target) of every [text](target) markdown link.
+  # grep exits 1 on zero matches — a file with no links is fine.
+  links=$(grep -oE '\]\(([^)]+)\)' "$file" | sed -E 's/^\]\((.*)\)$/\1/' || true)
+  while IFS= read -r link; do
+    [ -z "$link" ] && continue
+    case "$link" in
+      http://*|https://*|mailto:*) continue ;;  # external: not fetched
+      '#'*) continue ;;                         # same-file anchor
+    esac
+    target="${link%%#*}"                        # strip anchor
+    # Relative to the linking file's directory.
+    base="$(dirname "$file")"
+    if [ ! -e "$base/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN LINK: $file -> $link" >&2
+      errors=$((errors + 1))
+    fi
+  done <<< "$links"
+done
+
+if [ "$errors" -gt 0 ]; then
+  echo "$errors broken markdown link(s)" >&2
+  exit 1
+fi
+echo "markdown links OK (${#FILES[@]} file(s) checked)"

@@ -20,6 +20,11 @@
 /// core::StrategyRegistry::Global().Register(...) without touching the
 /// core::Strategy enum; Session::RunBatch fans a vector of queries out
 /// over a thread pool against the shared read-only catalog.
+///
+/// To serve these queries to many clients from one long-lived process
+/// — with a prepared-plan cache, admission control, and per-request
+/// deadlines — layer serve::Server on top: "serve/serve.h"
+/// (docs/SERVING.md).
 #include "api/database.h"
 #include "api/prepared_query.h"
 #include "api/result.h"

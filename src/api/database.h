@@ -19,8 +19,16 @@ class Session;
 /// datasets by name, SNAP edge lists from disk, or relations built in
 /// memory), then open any number of sessions. Sessions share the
 /// catalog read-only and keep it alive, so they may outlive the
-/// Database; loading while sessions are executing queries is a data
-/// race — don't.
+/// Database.
+///
+/// Thread-safety: const access (catalog reads, OpenSession, running
+/// queries through sessions) is safe from any number of threads,
+/// because everything reachable through the catalog is immutable. The
+/// load methods are the only writers: loading while any session or
+/// server is executing queries is a data race — quiesce first
+/// (serve::Server::Drain, or simply don't run queries concurrently
+/// with loads). Every load bumps generation(), which is how plan
+/// caches detect that their entries went stale across a reload.
 class Database {
  public:
   Database() : catalog_(std::make_shared<storage::Catalog>()) {}
@@ -49,6 +57,12 @@ class Database {
   const storage::Catalog& catalog() const { return *catalog_; }
   std::vector<std::string> relation_names() const;
   uint64_t total_tuples() const;
+
+  /// The catalog's mutation counter — bumped by every load/add above.
+  /// Plans and ExecutionContexts built while generation() == g remain
+  /// valid exactly as long as it still equals g (see
+  /// storage::Catalog::generation and serve::PreparedQueryCache).
+  uint64_t generation() const { return catalog_->generation(); }
 
   /// A session with default options; customize via Session::options().
   Session OpenSession() const;

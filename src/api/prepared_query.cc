@@ -2,13 +2,21 @@
 
 namespace adj::api {
 
-Result PreparedQuery::Run() {
+Result PreparedQuery::Run() { return RunWithOptions(options_); }
+
+Result PreparedQuery::Run(const wcoj::JoinLimits& limits) {
+  core::EngineOptions options = options_;
+  options.limits = limits;
+  return RunWithOptions(options);
+}
+
+Result PreparedQuery::RunWithOptions(const core::EngineOptions& options) {
   if (!prepared_) {
     return Result(Status::Internal("empty prepared query (default "
                                    "constructed; use Session::Prepare)"));
   }
   core::Engine engine(&ctx_->db);
-  StatusOr<exec::RunReport> report = engine.RunPrepared(*ctx_, options_);
+  StatusOr<exec::RunReport> report = engine.RunPrepared(*ctx_, options);
   if (!report.ok()) return Result(report.status());
   if (report->ok() && !planning_charged_->exchange(true)) {
     report->optimize_s = planned_.optimize_s;

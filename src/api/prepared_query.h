@@ -51,10 +51,21 @@ class PreparedQuery {
   /// sampling, wall clock).
   double planning_seconds() const { return planned_.optimize_s; }
 
-  /// Executes the cached plan against the session's catalog.
+  /// Executes the cached plan against the session's catalog, under the
+  /// engine options snapshotted at Prepare time.
   Result Run();
 
+  /// Same, but with `limits` overriding the snapshot's
+  /// wcoj::JoinLimits for this run only — how a serving layer maps a
+  /// per-request deadline or memory budget onto a shared cached plan
+  /// (serve::Server sets limits.max_seconds to the request's remaining
+  /// deadline). The plan itself is unaffected; limit trips surface as
+  /// DeadlineExceeded / ResourceExhausted in the Result.
+  Result Run(const wcoj::JoinLimits& limits);
+
  private:
+  Result RunWithOptions(const core::EngineOptions& options);
+
   friend class Session;
 
   PreparedQuery(query::Query query, uint64_t selection_filtered,

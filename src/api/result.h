@@ -16,6 +16,17 @@ namespace adj::api {
 /// the error either way — to a serving client, a setup error (unknown
 /// relation, malformed query, unknown strategy) and a per-run failure
 /// (memory overflow, timeout) are both "this query did not answer".
+/// The status *code* still distinguishes them: InvalidArgument /
+/// NotFound for setup, ResourceExhausted (memory budget) and
+/// DeadlineExceeded (time budget / request deadline) for per-run.
+///
+/// Cost accessors report the paper's breakdown. optimize_seconds and
+/// precompute_seconds are one-time costs: on a prepared (or
+/// server-cached) query they are charged to the first successful run
+/// only — a 0 there means the plan was reused, not that planning was
+/// free (see PreparedQuery and serve::Server).
+///
+/// Thread-safety: an immutable value once constructed; share freely.
 class Result {
  public:
   /// An empty, failed result (what RunBatch slots hold before a worker

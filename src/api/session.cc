@@ -33,7 +33,7 @@ Result Session::Run(const query::Query& q,
 StatusOr<PreparedQuery> Session::Prepare(const std::string& query_text) const {
   StatusOr<core::SpjQuery> spj = core::ParseSpj(query_text);
   if (!spj.ok()) return spj.status();
-  if (spj->projection != 0 && spj->projection != spj->join.AllAttrs()) {
+  if (spj->HasProperProjection()) {
     return Status::InvalidArgument(
         "prepared queries do not support proper projections yet; "
         "run the projecting query through Session::Run");

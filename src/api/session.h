@@ -23,10 +23,20 @@ struct BatchQuery {
 /// A client's handle for issuing queries against a Database: carries
 /// the per-client default EngineOptions (cluster size, sampling
 /// budget, limits) and default strategy. Cheap to create — open one
-/// per client. Sessions only read the shared catalog (and keep it
-/// alive), so any number of sessions and RunBatch workers execute
-/// concurrently; configure options() before issuing queries, not while
-/// a RunBatch is in flight.
+/// per client.
+///
+/// Thread-safety: the const methods (Run, Prepare, RunBatch) only
+/// read the shared catalog (and keep it alive), so any number of
+/// sessions — and concurrent calls on *one* session — execute safely
+/// in parallel; serve::Server relies on this, Prepare()ing on several
+/// workers at once. The mutators (options(), set_default_strategy)
+/// are for setup: configure before issuing queries, not while a
+/// RunBatch or another thread's call is in flight.
+///
+/// Error folding: Run and RunBatch never fail out-of-band — every
+/// outcome, setup error or per-run failure, arrives folded into an
+/// api::Result (see Result). Only Prepare returns StatusOr, because
+/// there is no PreparedQuery to hand back when planning fails.
 class Session {
  public:
   explicit Session(std::shared_ptr<const storage::Catalog> db)

@@ -28,6 +28,13 @@ struct SpjQuery {
   /// Attributes kept in the output; 0 means all of attrs(Q).
   AttrMask projection = 0;
 
+  /// True when the projection drops attributes — the case Prepare
+  /// rejects and serve::Server routes to direct execution. The one
+  /// definition all layers share.
+  bool HasProperProjection() const {
+    return projection != 0 && projection != join.AllAttrs();
+  }
+
   std::string ToString() const;
 };
 

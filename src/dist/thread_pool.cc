@@ -25,9 +25,9 @@ void ThreadPool::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     work_cv_.wait(lock, [this] {
-      return stop_ || (tasks_ != nullptr && next_ < tasks_->size());
+      return stop_ || !submitted_.empty() ||
+             (tasks_ != nullptr && next_ < tasks_->size());
     });
-    if (stop_) return;
     while (tasks_ != nullptr && next_ < tasks_->size()) {
       const size_t i = next_++;
       lock.unlock();
@@ -35,6 +35,21 @@ void ThreadPool::WorkerLoop() {
       lock.lock();
       if (++done_ == tasks_->size()) done_cv_.notify_all();
     }
+    if (!submitted_.empty()) {
+      std::function<void()> task = std::move(submitted_.front());
+      submitted_.pop_front();
+      ++submitted_active_;
+      lock.unlock();
+      task();
+      lock.lock();
+      if (--submitted_active_ == 0 && submitted_.empty()) {
+        done_cv_.notify_all();
+      }
+      continue;
+    }
+    // Exit only once the submitted queue has drained: a submitted task
+    // is never dropped, even when stop raced with Submit.
+    if (stop_) return;
   }
 }
 
@@ -47,6 +62,21 @@ void ThreadPool::RunAll(const std::vector<std::function<void()>>& tasks) {
   work_cv_.notify_all();
   done_cv_.wait(lock, [this, &tasks] { return done_ == tasks.size(); });
   tasks_ = nullptr;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    submitted_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] {
+    return submitted_.empty() && submitted_active_ == 0;
+  });
 }
 
 void RunTasks(int threads, const std::vector<std::function<void()>>& tasks) {

@@ -2,6 +2,7 @@
 #define ADJ_DIST_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -9,11 +10,23 @@
 
 namespace adj::dist {
 
-/// Reusable fixed-size worker pool with batch semantics: RunAll()
-/// blocks until every task of the batch has executed exactly once.
-/// Used to run the simulated servers of one cluster concurrently
-/// (exec::RunHCubeJ's worker_threads) and reusable across batches so
-/// multi-stage plans do not re-spawn threads per stage.
+/// Reusable fixed-size worker pool with two modes of use:
+///
+/// - Batch mode — RunAll() blocks until every task of the batch has
+///   executed exactly once. Used to run the simulated servers of one
+///   cluster concurrently (exec::RunHCubeJ's worker_threads) and
+///   reusable across batches so multi-stage plans do not re-spawn
+///   threads per stage.
+/// - Streaming mode — Submit() enqueues one task and returns
+///   immediately; some worker runs it as soon as it is free. This is
+///   the serving mode: serve::Server admits each accepted request as
+///   one submitted task. WaitIdle() blocks until all submitted tasks
+///   have drained, and the destructor drains any still-pending
+///   submitted tasks before joining (a submitted task is never
+///   dropped).
+///
+/// The modes may interleave on one pool; workers prefer the active
+/// batch, then the submitted queue.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -29,6 +42,18 @@ class ThreadPool {
   /// re-entrant: one batch at a time per pool.
   void RunAll(const std::vector<std::function<void()>>& tasks);
 
+  /// Streaming mode: enqueues `task` to run exactly once on some
+  /// worker and returns immediately. There is no internal bound on the
+  /// submitted queue — callers that need admission control bound it
+  /// themselves (serve::AdmissionQueue). Must not race with the pool's
+  /// destruction.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the submitted queue is empty and no submitted task
+  /// is in flight. Batches (RunAll) are not waited on. Tasks submitted
+  /// concurrently with the wait may or may not be covered by it.
+  void WaitIdle();
+
  private:
   void WorkerLoop();
 
@@ -38,6 +63,8 @@ class ThreadPool {
   const std::vector<std::function<void()>>* tasks_ = nullptr;  // guarded by mu_
   size_t next_ = 0;   // next unclaimed task index
   size_t done_ = 0;   // tasks finished in the current batch
+  std::deque<std::function<void()>> submitted_;  // streaming-mode queue
+  size_t submitted_active_ = 0;  // submitted tasks currently executing
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,72 @@
+#ifndef ADJ_SERVE_ADMISSION_QUEUE_H_
+#define ADJ_SERVE_ADMISSION_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+namespace adj::serve {
+
+/// Admission lanes: interactive single queries vs. bulk batch work.
+/// Keeping them separate is what lets the server stay fair — a large
+/// batch admitted first must not starve the single-query lane.
+enum class Lane { kSingle = 0, kBatch = 1 };
+
+/// Bounded two-lane FIFO with round-robin fairness between lanes —
+/// serve::Server's admission queue. TryPush rejects when the *total*
+/// across both lanes is at capacity (the reject-with-backpressure
+/// signal); Pop alternates lanes whenever both are non-empty, so batch
+/// and single-query admission interleave 1:1 regardless of arrival
+/// order, and falls through to the non-empty lane otherwise.
+///
+/// Not thread-safe: the owner serializes access (serve::Server guards
+/// it with the server mutex). Kept as a standalone template so the
+/// fairness and capacity policy is unit-testable without a server.
+template <typename T>
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(size_t capacity) : capacity_(capacity) {}
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return lanes_[0].size() + lanes_[1].size(); }
+  bool empty() const { return size() == 0; }
+
+  /// Room for `n` more items without exceeding capacity — the
+  /// all-or-nothing admission check for batches.
+  bool CanAccept(size_t n) const { return size() + n <= capacity_; }
+
+  /// Enqueues onto `lane`; false (item not consumed) when full.
+  bool TryPush(Lane lane, T item) {
+    if (!CanAccept(1)) return false;
+    lanes_[int(lane)].push_back(std::move(item));
+    return true;
+  }
+
+  /// Dequeues the next item under round-robin fairness, with the lane
+  /// it came from; nullopt when empty.
+  std::optional<std::pair<Lane, T>> Pop() {
+    Lane lane = preferred_;
+    if (lanes_[int(lane)].empty()) lane = Other(lane);
+    std::deque<T>& q = lanes_[int(lane)];
+    if (q.empty()) return std::nullopt;
+    T item = std::move(q.front());
+    q.pop_front();
+    // Alternate: whichever lane served, the other goes first next time.
+    preferred_ = Other(lane);
+    return std::make_pair(lane, std::move(item));
+  }
+
+ private:
+  static Lane Other(Lane lane) {
+    return lane == Lane::kSingle ? Lane::kBatch : Lane::kSingle;
+  }
+
+  size_t capacity_;
+  std::deque<T> lanes_[2];
+  Lane preferred_ = Lane::kSingle;
+};
+
+}  // namespace adj::serve
+
+#endif  // ADJ_SERVE_ADMISSION_QUEUE_H_

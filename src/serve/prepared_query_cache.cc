@@ -1,0 +1,63 @@
+#include "serve/prepared_query_cache.h"
+
+namespace adj::serve {
+
+std::optional<api::PreparedQuery> PreparedQueryCache::Lookup(
+    const std::string& key, uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second->generation != generation) {
+    // The catalog changed since this plan was prepared: its
+    // ExecutionContext may alias replaced relations — drop, miss.
+    entries_.erase(it->second);
+    index_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  entries_.splice(entries_.begin(), entries_, it->second);  // LRU refresh
+  ++stats_.hits;
+  return entries_.front().prepared;
+}
+
+void PreparedQueryCache::Insert(const std::string& key, uint64_t generation,
+                                api::PreparedQuery prepared) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    if (it->second->generation == generation) return;  // racing worker won
+    entries_.erase(it->second);
+    index_.erase(it);
+    ++stats_.invalidations;
+  }
+  while (entries_.size() >= capacity_) {
+    index_.erase(entries_.back().key);
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  entries_.push_front(Entry{key, generation, std::move(prepared)});
+  index_[key] = entries_.begin();
+}
+
+void PreparedQueryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  index_.clear();
+}
+
+size_t PreparedQueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+PreparedQueryCache::Stats PreparedQueryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace adj::serve

@@ -1,0 +1,95 @@
+#ifndef ADJ_SERVE_PREPARED_QUERY_CACHE_H_
+#define ADJ_SERVE_PREPARED_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "api/prepared_query.h"
+
+namespace adj::serve {
+
+/// Bounded LRU cache of master api::PreparedQuery instances, keyed by
+/// normalized query text — the piece that amortizes the paper's
+/// plan-once cost model across requests: the first request for a query
+/// pays planning + pre-computation, every later request for the same
+/// text runs the cached ExecutionContext at O(query) cost.
+///
+/// Keying: callers pass the *normalized* key (serve::Server uses the
+/// canonical core::SpjQuery::ToString() rendering of the parsed text),
+/// so lexical variants of one query share an entry; semantically equal
+/// queries written differently (reordered atoms, renamed variables) do
+/// not — normalization is canonical-rendering, not query equivalence.
+///
+/// Invalidation: every entry records the storage::Catalog generation
+/// it was prepared at. Lookup takes the catalog's *current* generation
+/// and treats any entry from another generation as stale: the entry is
+/// dropped (counted in Stats::invalidations) and the lookup misses, so
+/// an ExecutionContext whose aliased base relations were replaced by a
+/// reload is never served.
+///
+/// Concurrency: all operations are mutex-serialized, so any number of
+/// server workers may Lookup/Insert concurrently. Lookup hands out a
+/// *copy* of the master entry (PreparedQuery copies are cheap handle
+/// copies that share the reduced catalog, the ExecutionContext, and
+/// the charge-planning-once flag), because one PreparedQuery instance
+/// must not be Run() from two threads.
+class PreparedQueryCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;      // LRU capacity evictions
+    uint64_t invalidations = 0;  // generation-mismatch drops
+  };
+
+  /// `capacity` = max resident entries; 0 disables caching (every
+  /// lookup misses, every insert is dropped).
+  explicit PreparedQueryCache(size_t capacity) : capacity_(capacity) {}
+
+  PreparedQueryCache(const PreparedQueryCache&) = delete;
+  PreparedQueryCache& operator=(const PreparedQueryCache&) = delete;
+
+  /// A copy of the entry under `key` if present and prepared at
+  /// `generation`; nullopt otherwise (stale entries are dropped on the
+  /// way). A hit refreshes the entry's LRU position.
+  std::optional<api::PreparedQuery> Lookup(const std::string& key,
+                                           uint64_t generation);
+
+  /// Caches `prepared` (the master copy) under `key` as of
+  /// `generation`, evicting the least-recently-used entry at capacity.
+  /// If `key` is already cached at the same generation the existing
+  /// entry wins (two workers raced preparing the same text; the loser
+  /// still runs its own instance); at another generation the new entry
+  /// replaces the stale one.
+  void Insert(const std::string& key, uint64_t generation,
+              api::PreparedQuery prepared);
+
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t generation = 0;
+    api::PreparedQuery prepared;
+  };
+  using EntryList = std::list<Entry>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  EntryList entries_;  // front = most recently used
+  std::unordered_map<std::string, EntryList::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace adj::serve
+
+#endif  // ADJ_SERVE_PREPARED_QUERY_CACHE_H_

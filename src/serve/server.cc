@@ -1,0 +1,233 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "core/spj.h"
+#include "query/query.h"
+#include "wcoj/leapfrog.h"
+
+namespace adj::serve {
+
+using SteadyClock = std::chrono::steady_clock;
+
+Server::Server(api::Database db, ServerOptions options)
+    : db_(std::move(db)),
+      options_(std::move(options)),
+      session_(db_.OpenSession()),
+      cache_(options_.cache_capacity),
+      queue_(options_.queue_capacity),
+      pool_(options_.worker_threads) {
+  session_.options() = options_.engine;
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  // Wake workers parked on a pause so the pool destructor (run next,
+  // as pool_ is the last member) can drain every admitted request —
+  // no future is ever left unfulfilled.
+  resume_cv_.notify_all();
+}
+
+StatusOr<Server::Request> Server::MakeRequest(
+    const std::string& text, const RequestOptions& request) const {
+  // Parse up front: malformed text is rejected at admission (costing
+  // the client no queue slot), and the canonical rendering of the
+  // parsed query becomes the cache key, so lexical variants of one
+  // query ("G(a,b)G(b,c)", "G(a, b)  G(b , c)") share a cached plan.
+  StatusOr<core::SpjQuery> spj = core::ParseSpj(text);
+  if (!spj.ok()) return spj.status();
+  Request req;
+  req.key = spj->ToString();
+  req.text = text;
+  req.proper_projection = spj->HasProperProjection();
+  const double deadline_seconds = request.deadline_seconds > 0
+                                      ? request.deadline_seconds
+                                      : options_.default_deadline_seconds;
+  // Deadlines beyond ~a year mean "no deadline" — and stay far from
+  // overflowing the int64-nanosecond duration_cast below.
+  constexpr double kMaxDeadlineSeconds = 3.15e7;
+  if (std::isfinite(deadline_seconds) &&
+      deadline_seconds < kMaxDeadlineSeconds) {
+    req.has_deadline = true;
+    req.deadline = SteadyClock::now() +
+                   std::chrono::duration_cast<SteadyClock::duration>(
+                       std::chrono::duration<double>(deadline_seconds));
+  }
+  return req;
+}
+
+StatusOr<std::future<api::Result>> Server::Enqueue(
+    Lane lane, const std::string& text, const RequestOptions& request) {
+  StatusOr<Request> req = MakeRequest(text, request);
+  if (!req.ok()) return req.status();
+  std::future<api::Result> future = req->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return Status::Internal("server is shutting down");
+    if (!queue_.TryPush(lane, std::move(req.value()))) {
+      ++stats_.rejected;
+      return Status::ResourceExhausted(
+          "admission queue full (capacity " +
+          std::to_string(options_.queue_capacity) +
+          "): backpressure — retry later");
+    }
+    ++stats_.accepted;
+  }
+  pool_.Submit([this] { ServeOne(); });
+  return future;
+}
+
+StatusOr<std::future<api::Result>> Server::Submit(
+    const std::string& query_text, const RequestOptions& request) {
+  return Enqueue(Lane::kSingle, query_text, request);
+}
+
+StatusOr<std::vector<std::future<api::Result>>> Server::SubmitBatch(
+    const std::vector<std::string>& texts, const RequestOptions& request) {
+  std::vector<Request> requests;
+  std::vector<std::future<api::Result>> futures;
+  requests.reserve(texts.size());
+  futures.reserve(texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    StatusOr<Request> req = MakeRequest(texts[i], request);
+    if (!req.ok()) {
+      return Status(req.status().code(), "batch query #" + std::to_string(i) +
+                                             ": " + req.status().message());
+    }
+    futures.push_back(req->promise.get_future());
+    requests.push_back(std::move(req.value()));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return Status::Internal("server is shutting down");
+    // All-or-nothing: a half-admitted batch helps nobody.
+    if (!queue_.CanAccept(requests.size())) {
+      stats_.rejected += requests.size();
+      return Status::ResourceExhausted(
+          "admission queue cannot take a batch of " +
+          std::to_string(requests.size()) + " (capacity " +
+          std::to_string(options_.queue_capacity) +
+          "): backpressure — retry later");
+    }
+    for (Request& req : requests) {
+      queue_.TryPush(Lane::kBatch, std::move(req));  // CanAccept guaranteed
+      ++stats_.accepted;
+    }
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    pool_.Submit([this] { ServeOne(); });
+  }
+  return futures;
+}
+
+api::Result Server::Execute(const std::string& query_text,
+                            const RequestOptions& request) {
+  StatusOr<std::future<api::Result>> future = Submit(query_text, request);
+  if (!future.ok()) return api::Result(future.status());
+  return future->get();
+}
+
+void Server::ServeOne() {
+  Request req;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    resume_cv_.wait(lock, [this] { return !paused_ || stopping_; });
+    std::optional<std::pair<Lane, Request>> popped = queue_.Pop();
+    if (!popped) return;  // defensive: one task is submitted per push
+    req = std::move(popped->second);
+  }
+  api::Result result = ExecuteRequest(req);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result.ok()) {
+      ++stats_.served;
+    } else {
+      ++stats_.failed;
+    }
+  }
+  req.promise.set_value(std::move(result));
+}
+
+api::Result Server::ExecuteRequest(Request& req) {
+  double remaining = std::numeric_limits<double>::infinity();
+  if (req.has_deadline) {
+    remaining =
+        std::chrono::duration<double>(req.deadline - SteadyClock::now())
+            .count();
+    if (remaining <= 0) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.expired_in_queue;
+      }
+      return api::Result(Status::DeadlineExceeded(
+          "deadline expired while queued — tighten admission or extend the "
+          "request deadline"));
+    }
+  }
+  // The request's remaining budget only ever tightens the server-wide
+  // time limit; mid-join expiry then surfaces as DeadlineExceeded from
+  // the executor itself.
+  wcoj::JoinLimits limits = options_.engine.limits;
+  limits.max_seconds = std::min(limits.max_seconds, remaining);
+
+  const uint64_t generation = db_.catalog().generation();
+
+  if (req.proper_projection) {
+    // Prepare() rejects proper projections, so there is no plan to
+    // cache — run directly, still deadline-bounded.
+    api::Session session = db_.OpenSession();
+    session.options() = options_.engine;
+    session.options().limits = limits;
+    return session.Run(req.text);
+  }
+
+  std::optional<api::PreparedQuery> prepared =
+      cache_.Lookup(req.key, generation);
+  if (!prepared) {
+    StatusOr<api::PreparedQuery> built = session_.Prepare(req.text);
+    if (!built.ok()) return api::Result(built.status());
+    // The master copy stays cached; this request runs its own copy.
+    // Copies share the charge-planning-once flag, so whichever copy
+    // runs first pays optimize_s/precompute_s and every later request
+    // for this key reports both as zero.
+    cache_.Insert(req.key, generation, *built);
+    prepared = std::move(built.value());
+  }
+  return prepared->Run(limits);
+}
+
+void Server::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void Server::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  resume_cv_.notify_all();
+}
+
+void Server::Drain() {
+  Resume();
+  pool_.WaitIdle();
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+  }
+  out.cache = cache_.stats();
+  return out;
+}
+
+}  // namespace adj::serve

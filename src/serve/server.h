@@ -1,0 +1,176 @@
+#ifndef ADJ_SERVE_SERVER_H_
+#define ADJ_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/api.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "dist/thread_pool.h"
+#include "serve/admission_queue.h"
+#include "serve/prepared_query_cache.h"
+
+namespace adj::serve {
+
+/// Tuning knobs for one serve::Server, fixed at construction.
+struct ServerOptions {
+  /// Worker threads executing admitted requests (dist::ThreadPool
+  /// size). Each in-flight request occupies one worker.
+  int worker_threads = 4;
+  /// Admission-queue bound across both lanes. Submissions beyond it
+  /// are rejected with ResourceExhausted — the backpressure signal.
+  size_t queue_capacity = 64;
+  /// PreparedQueryCache entry bound (0 disables plan caching).
+  size_t cache_capacity = 32;
+  /// Deadline applied to requests that don't carry their own;
+  /// infinity = none.
+  double default_deadline_seconds =
+      std::numeric_limits<double>::infinity();
+  /// Engine options every request executes under (cluster size,
+  /// sampling budget, base JoinLimits). A request deadline only ever
+  /// *tightens* limits.max_seconds, never loosens it.
+  core::EngineOptions engine;
+};
+
+/// Per-request knobs.
+struct RequestOptions {
+  /// Wall-clock budget from admission to completion; <= 0 uses the
+  /// server default. Expiry — while queued or mid-execution (via
+  /// wcoj::JoinLimits::max_seconds) — yields a DeadlineExceeded
+  /// Result, distinct from queue-full rejection (ResourceExhausted).
+  double deadline_seconds = 0.0;
+};
+
+/// Aggregate serving counters (monotone since construction).
+struct ServerStats {
+  uint64_t accepted = 0;          // admitted into the queue
+  uint64_t rejected = 0;          // queue-full backpressure rejections
+  uint64_t served = 0;            // completed with an ok() Result
+  uint64_t failed = 0;            // completed with an error Result
+  uint64_t expired_in_queue = 0;  // deadline passed before execution
+  PreparedQueryCache::Stats cache;
+};
+
+/// The async serving layer: one Server owns one api::Database and
+/// amortizes the paper's plan-once / execute-many cost model across
+/// requests from many clients.
+///
+/// Request lifecycle — Submit parses and normalizes the query text
+/// (parse errors are returned immediately, costing no queue slot),
+/// admits it into a bounded two-lane AdmissionQueue (single-query vs.
+/// batch lane, round-robin fair; full queue → ResourceExhausted), and
+/// hands back a std::future<api::Result>. A worker from the
+/// dist::ThreadPool then pops the request, checks its deadline, looks
+/// up the PreparedQueryCache under the catalog's current generation —
+/// hit: runs a copy of the cached plan; miss: prepares, caches the
+/// master, runs — and fulfills the future. Per-request deadlines map
+/// onto wcoj::JoinLimits::max_seconds, so a request that exceeds its
+/// budget mid-join also completes with DeadlineExceeded. Queries with
+/// a proper projection (not preparable today) fall through to direct
+/// Session execution, uncached but still deadline-bounded.
+///
+/// Thread-safety: Submit / SubmitBatch / Execute / stats are safe from
+/// any number of client threads. database() is the one mutable path —
+/// reloading relations requires quiescing (Pause() + Drain(), or no
+/// requests in flight); the catalog generation counter then takes care
+/// of cached-plan staleness, so a reload needs no explicit cache
+/// flush. The destructor drains: every admitted request's future is
+/// fulfilled before destruction completes.
+class Server {
+ public:
+  explicit Server(api::Database db, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admits one query onto the single-query lane. Returns the future
+  /// carrying its Result, or: InvalidArgument (unparseable text),
+  /// ResourceExhausted (queue full — retry later), Internal (server
+  /// shutting down). Execution failures are folded into the Result,
+  /// not the Status.
+  StatusOr<std::future<api::Result>> Submit(
+      const std::string& query_text, const RequestOptions& request = {});
+
+  /// Admits `texts` onto the batch lane, all-or-nothing: if the queue
+  /// cannot take the whole batch, nothing is admitted and the call
+  /// returns ResourceExhausted. Futures align index-wise with `texts`.
+  StatusOr<std::vector<std::future<api::Result>>> SubmitBatch(
+      const std::vector<std::string>& texts,
+      const RequestOptions& request = {});
+
+  /// Submit + wait: the synchronous convenience used by tests and the
+  /// demo. Admission failures are folded into the returned Result.
+  api::Result Execute(const std::string& query_text,
+                      const RequestOptions& request = {});
+
+  /// Pauses dequeuing: already-running requests finish, queued ones
+  /// wait (their deadlines keep ticking). Admission stays open.
+  void Pause();
+  void Resume();
+
+  /// Resumes if paused, then blocks until every admitted request has
+  /// been executed and its future fulfilled. The quiesce point for
+  /// database() mutations.
+  void Drain();
+
+  /// The served database. Mutating it (LoadBuiltin / AddRelation /
+  /// LoadEdgeList) is only safe with no request in flight — call
+  /// Drain() first and don't admit concurrently. Each mutation bumps
+  /// the catalog generation, invalidating affected cache entries on
+  /// their next lookup.
+  api::Database& database() { return db_; }
+  const api::Database& database() const { return db_; }
+
+  const ServerOptions& options() const { return options_; }
+  ServerStats stats() const;
+
+ private:
+  struct Request {
+    std::string key;   // normalized cache key (canonical rendering)
+    std::string text;  // original text, what Prepare/Run parse
+    bool proper_projection = false;  // not preparable → direct path
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
+    std::promise<api::Result> promise;
+  };
+
+  StatusOr<std::future<api::Result>> Enqueue(Lane lane,
+                                             const std::string& text,
+                                             const RequestOptions& request);
+  /// Parse + normalize + resolve the deadline (request's, else the
+  /// server default; values beyond ~a year count as none).
+  StatusOr<Request> MakeRequest(const std::string& text,
+                                const RequestOptions& request) const;
+  /// One admitted request == one pool task running this: wait out a
+  /// pause, pop under fairness, execute, fulfill the promise.
+  void ServeOne();
+  api::Result ExecuteRequest(Request& req);
+
+  api::Database db_;
+  const ServerOptions options_;
+  api::Session session_;  // Prepare()s under options_.engine (const use)
+  PreparedQueryCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable resume_cv_;
+  AdmissionQueue<Request> queue_;  // guarded by mu_
+  bool paused_ = false;            // guarded by mu_
+  bool stopping_ = false;          // guarded by mu_
+  ServerStats stats_;              // guarded by mu_ (cache part lives in cache_)
+
+  // Last member: destroyed first, so its destructor drains all pending
+  // ServeOne tasks while the queue/cache/db above are still alive.
+  dist::ThreadPool pool_;
+};
+
+}  // namespace adj::serve
+
+#endif  // ADJ_SERVE_SERVER_H_

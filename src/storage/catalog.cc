@@ -7,6 +7,7 @@ namespace adj::storage {
 
 void Catalog::Put(const std::string& name, Relation rel) {
   relations_[name] = std::make_shared<const Relation>(std::move(rel));
+  ++generation_;
 }
 
 Status Catalog::PutShared(const std::string& name,
@@ -15,6 +16,7 @@ Status Catalog::PutShared(const std::string& name,
     return Status::InvalidArgument("null relation for catalog entry: " + name);
   }
   relations_[name] = std::move(rel);
+  ++generation_;
   return Status::OK();
 }
 
@@ -26,6 +28,7 @@ Status Catalog::Alias(const std::string& alias, const std::string& name) {
   // Copy the handle before the map write so Alias(n, n) stays a no-op.
   std::shared_ptr<const Relation> rel = it->second;
   relations_[alias] = std::move(rel);
+  ++generation_;
   return Status::OK();
 }
 

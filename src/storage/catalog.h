@@ -27,6 +27,14 @@ namespace adj::storage {
 /// relations per prepared run at zero copy cost. Relations reachable
 /// through a catalog are immutable; replacing a name via Put rebinds
 /// only that name and never affects aliases of the old relation.
+///
+/// Staleness tracking: every mutation of the name→relation mapping
+/// (Put / PutShared / Alias) bumps generation(). Caches that hold
+/// plans or ExecutionContexts built against this catalog record the
+/// generation they were built at and drop entries whose generation no
+/// longer matches — see serve::PreparedQueryCache. The counter is not
+/// atomic: like the rest of the catalog, mutation must be quiesced
+/// with respect to readers (docs/ARCHITECTURE.md, "Ownership rules").
 class Catalog {
  public:
   Catalog() = default;
@@ -71,8 +79,17 @@ class Catalog {
   uint64_t TotalTuples() const;
   uint64_t TotalBytes() const;
 
+  /// Monotone counter of name→relation mutations: starts at 0 and is
+  /// bumped by every successful Put / PutShared / Alias. Equal
+  /// generations guarantee every name still resolves to the same
+  /// physical relation it did before, so anything derived from the
+  /// catalog at generation g (plans, ExecutionContexts) is still
+  /// valid while generation() == g.
+  uint64_t generation() const { return generation_; }
+
  private:
   std::map<std::string, std::shared_ptr<const Relation>> relations_;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace adj::storage

@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataset/generators.h"
+#include "query/query.h"
+#include "serve/serve.h"
+#include "wcoj/naive_join.h"
+
+namespace adj::serve {
+namespace {
+
+constexpr char kTriangle[] = "G(a,b) G(b,c) G(a,c)";
+constexpr char kPath[] = "G(a,b) G(b,c)";
+constexpr char kSquare[] = "G(a,b) G(b,c) G(c,d) G(d,a)";
+
+api::Database SmallDatabase(uint64_t seed, uint64_t nodes = 30,
+                            uint64_t edges = 150) {
+  Rng rng(seed);
+  api::Database db;
+  db.AddRelation("G", dataset::ErdosRenyi(nodes, edges, rng));
+  return db;
+}
+
+ServerOptions FastOptions() {
+  ServerOptions options;
+  options.worker_threads = 2;
+  options.queue_capacity = 16;
+  options.cache_capacity = 8;
+  options.engine.cluster.num_servers = 4;
+  options.engine.num_samples = 64;
+  return options;
+}
+
+uint64_t OracleCount(const api::Database& db, const std::string& text) {
+  auto q = query::Query::Parse(text);
+  EXPECT_TRUE(q.ok());
+  auto joined = wcoj::NaiveJoin(*q, db.catalog());
+  EXPECT_TRUE(joined.ok());
+  return joined->size();
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionQueue: capacity + round-robin fairness policy, in isolation.
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionQueueTest, RejectsWhenFullAcrossBothLanes) {
+  AdmissionQueue<int> q(3);
+  EXPECT_TRUE(q.TryPush(Lane::kSingle, 1));
+  EXPECT_TRUE(q.TryPush(Lane::kBatch, 2));
+  EXPECT_TRUE(q.TryPush(Lane::kBatch, 3));
+  EXPECT_FALSE(q.TryPush(Lane::kSingle, 4));  // total bound, not per-lane
+  EXPECT_FALSE(q.CanAccept(1));
+  EXPECT_EQ(q.size(), 3u);
+  q.Pop();
+  EXPECT_TRUE(q.CanAccept(1));
+  EXPECT_FALSE(q.CanAccept(2));
+}
+
+TEST(AdmissionQueueTest, PopAlternatesLanesWhenBothNonEmpty) {
+  AdmissionQueue<int> q(8);
+  // A batch admitted first must not starve the single lane.
+  for (int i = 0; i < 4; ++i) q.TryPush(Lane::kBatch, 100 + i);
+  q.TryPush(Lane::kSingle, 1);
+  q.TryPush(Lane::kSingle, 2);
+
+  std::vector<Lane> order;
+  while (auto popped = q.Pop()) order.push_back(popped->first);
+  ASSERT_EQ(order.size(), 6u);
+  // Strict 1:1 interleaving while both lanes are non-empty (the queue
+  // prefers the single lane first), then the batch remainder drains.
+  EXPECT_EQ(order[0], Lane::kSingle);
+  EXPECT_EQ(order[1], Lane::kBatch);
+  EXPECT_EQ(order[2], Lane::kSingle);
+  EXPECT_EQ(order[3], Lane::kBatch);
+  EXPECT_EQ(order[4], Lane::kBatch);
+  EXPECT_EQ(order[5], Lane::kBatch);
+}
+
+TEST(AdmissionQueueTest, FifoWithinOneLaneAndEmptyPop) {
+  AdmissionQueue<int> q(4);
+  q.TryPush(Lane::kSingle, 1);
+  q.TryPush(Lane::kSingle, 2);
+  q.TryPush(Lane::kSingle, 3);
+  EXPECT_EQ(q.Pop()->second, 1);
+  EXPECT_EQ(q.Pop()->second, 2);
+  EXPECT_EQ(q.Pop()->second, 3);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_TRUE(q.empty());
+}
+
+// ---------------------------------------------------------------------------
+// PreparedQueryCache: LRU + generation invalidation policy. The cached
+// payloads here are empty PreparedQuery handles — the policy under
+// test never runs them.
+// ---------------------------------------------------------------------------
+
+TEST(PreparedQueryCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  PreparedQueryCache cache(2);
+  cache.Insert("q1", 1, api::PreparedQuery());
+  cache.Insert("q2", 1, api::PreparedQuery());
+  EXPECT_TRUE(cache.Lookup("q1", 1).has_value());  // refreshes q1
+  cache.Insert("q3", 1, api::PreparedQuery());     // evicts q2 (LRU)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup("q2", 1).has_value());
+  EXPECT_TRUE(cache.Lookup("q1", 1).has_value());
+  EXPECT_TRUE(cache.Lookup("q3", 1).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(PreparedQueryCacheTest, GenerationMismatchDropsEntry) {
+  PreparedQueryCache cache(4);
+  cache.Insert("q", 7, api::PreparedQuery());
+  EXPECT_TRUE(cache.Lookup("q", 7).has_value());
+  // The catalog moved on: the entry must be dropped, not served.
+  EXPECT_FALSE(cache.Lookup("q", 8).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  PreparedQueryCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(PreparedQueryCacheTest, ZeroCapacityDisablesCaching) {
+  PreparedQueryCache cache(0);
+  cache.Insert("q", 1, api::PreparedQuery());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup("q", 1).has_value());
+}
+
+TEST(PreparedQueryCacheTest, InsertRaceFirstWinsAtSameGeneration) {
+  PreparedQueryCache cache(4);
+  cache.Insert("q", 1, api::PreparedQuery());
+  cache.Insert("q", 1, api::PreparedQuery());  // racing worker's copy
+  EXPECT_EQ(cache.size(), 1u);
+  // A newer generation replaces the stale entry instead.
+  cache.Insert("q", 2, api::PreparedQuery());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Lookup("q", 2).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Server end-to-end.
+// ---------------------------------------------------------------------------
+
+TEST(ServerTest, SecondRequestForSameTextIsFreeOfPlanningCost) {
+  api::Database db = SmallDatabase(1);
+  const uint64_t oracle = OracleCount(db, kTriangle);
+  Server server(std::move(db), FastOptions());
+
+  api::Result first = server.Execute(kTriangle);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first.count(), oracle);
+  // The first request pays the one-time planning + pre-computation.
+  EXPECT_GT(first.optimize_seconds(), 0.0);
+
+  // Lexical variant: normalization maps it onto the same cache key.
+  api::Result second = server.Execute("G(a,b)   G(b,c)  G(a,c)");
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second.count(), oracle);
+  // Cache hit: no plan search, no sampling, no bag re-materialization.
+  EXPECT_EQ(second.optimize_seconds(), 0.0);
+  EXPECT_EQ(second.precompute_seconds(), 0.0);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.served, 2u);
+}
+
+TEST(ServerTest, CatalogReloadInvalidatesCachedPlan) {
+  api::Database db = SmallDatabase(2);
+  Server server(std::move(db), FastOptions());
+
+  api::Result before = server.Execute(kTriangle);
+  ASSERT_TRUE(before.ok()) << before.status();
+  EXPECT_EQ(server.stats().cache.misses, 1u);
+
+  // Replace "G" behind the server's back (quiesced): the generation
+  // bump must drop the cached plan — the old ExecutionContext aliases
+  // the replaced relation and would serve stale counts.
+  server.Drain();
+  Rng rng(99);
+  server.database().AddRelation("G", dataset::ErdosRenyi(40, 300, rng));
+  const uint64_t fresh_oracle = OracleCount(server.database(), kTriangle);
+
+  api::Result after = server.Execute(kTriangle);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after.count(), fresh_oracle);
+  // Re-prepared from scratch: pays planning again.
+  EXPECT_GT(after.optimize_seconds(), 0.0);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cache.invalidations, 1u);
+  EXPECT_EQ(stats.cache.misses, 2u);
+  EXPECT_EQ(stats.cache.hits, 0u);
+}
+
+TEST(ServerTest, DeadlineExceededIsADistinctError) {
+  api::Database db = SmallDatabase(3);
+  Server server(std::move(db), FastOptions());
+
+  // Park the workers so the deadline expires while the request is
+  // still queued — deterministic, no timing-sensitive join needed.
+  server.Pause();
+  StatusOr<std::future<api::Result>> future =
+      server.Submit(kPath, {.deadline_seconds = 1e-3});
+  ASSERT_TRUE(future.ok()) << future.status();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.Resume();
+
+  api::Result late = future->get();
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server.stats().expired_in_queue, 1u);
+
+  // A deadline too tight to meet surfaces the same code whether it
+  // expires while still queued or mid-join (via JoinLimits).
+  api::Result mid = server.Execute(kSquare, {.deadline_seconds = 1e-9});
+  EXPECT_FALSE(mid.ok());
+  EXPECT_EQ(mid.status().code(), StatusCode::kDeadlineExceeded);
+
+  // ...and both are distinct from backpressure (ResourceExhausted) and
+  // parse errors (InvalidArgument).
+  EXPECT_NE(late.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ServerTest, HugeFiniteDeadlineMeansNoDeadline) {
+  // 1e10 s (~317 years) must not overflow the steady_clock cast into
+  // an instantly-expired deadline — it counts as "no deadline".
+  Server server(SmallDatabase(9), FastOptions());
+  api::Result r = server.Execute(kPath, {.deadline_seconds = 1e10});
+  EXPECT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(server.stats().expired_in_queue, 0u);
+}
+
+TEST(ServerTest, QueueFullBackpressureRejectsWithResourceExhausted) {
+  ServerOptions options = FastOptions();
+  options.worker_threads = 1;
+  options.queue_capacity = 3;
+  Server server(SmallDatabase(4), options);
+
+  server.Pause();
+  std::vector<std::future<api::Result>> admitted;
+  for (size_t i = 0; i < options.queue_capacity; ++i) {
+    StatusOr<std::future<api::Result>> f = server.Submit(kPath);
+    ASSERT_TRUE(f.ok()) << f.status();
+    admitted.push_back(std::move(f.value()));
+  }
+  // Queue full: backpressure, not an exception and not a silent drop.
+  StatusOr<std::future<api::Result>> rejected = server.Submit(kPath);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  // A batch that doesn't fit is rejected whole (all-or-nothing)...
+  server.Resume();
+  server.Drain();
+  server.Pause();
+  ASSERT_TRUE(server.Submit(kPath).ok());
+  StatusOr<std::vector<std::future<api::Result>>> batch =
+      server.SubmitBatch({kPath, kPath, kPath});
+  EXPECT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kResourceExhausted);
+  // ...while one that fits is admitted.
+  StatusOr<std::vector<std::future<api::Result>>> fits =
+      server.SubmitBatch({kPath, kPath});
+  EXPECT_TRUE(fits.ok()) << fits.status();
+  server.Resume();
+  server.Drain();
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.rejected, 1u + 3u);
+  // Every admitted request completed.
+  EXPECT_EQ(stats.served + stats.failed, stats.accepted);
+  for (auto& f : admitted) EXPECT_TRUE(f.get().ok());
+}
+
+TEST(ServerTest, ParseErrorsAreRejectedWithoutAQueueSlot) {
+  Server server(SmallDatabase(5), FastOptions());
+  StatusOr<std::future<api::Result>> bad = server.Submit("G(a,b");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  StatusOr<std::vector<std::future<api::Result>>> batch =
+      server.SubmitBatch({kPath, "G(a,b"});
+  EXPECT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 0u);
+  EXPECT_EQ(stats.rejected, 0u);  // parse errors are not backpressure
+}
+
+TEST(ServerTest, ProjectingQueriesFallBackToDirectExecution) {
+  api::Database db = SmallDatabase(6, 40, 250);
+  api::Session session = db.OpenSession();
+  session.options().cluster.num_servers = 4;
+  session.options().num_samples = 64;
+  const char* kProjecting = "G(a,b) G(b,c) | | a";
+  api::Result serial = session.Run(kProjecting);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  Server server(std::move(db), FastOptions());
+  api::Result served = server.Execute(kProjecting);
+  ASSERT_TRUE(served.ok()) << served.status();
+  EXPECT_EQ(served.count(), serial.count());
+  // No prepared plan exists for projections — the cache is untouched.
+  EXPECT_EQ(server.stats().cache.misses, 0u);
+  EXPECT_EQ(server.stats().cache.hits, 0u);
+}
+
+TEST(ServerTest, ConcurrentClientsMatchSerialSessionResults) {
+  api::Database db = SmallDatabase(7, 40, 250);
+  api::Session session = db.OpenSession();
+  session.options().cluster.num_servers = 4;
+  session.options().num_samples = 64;
+
+  const std::vector<std::string> queries = {kTriangle, kPath, kSquare,
+                                            "G(a,b) G(b,c) | a=1"};
+  std::vector<uint64_t> serial_counts;
+  for (const std::string& q : queries) {
+    api::Result r = session.Run(q);
+    ASSERT_TRUE(r.ok()) << q << ": " << r.status();
+    serial_counts.push_back(r.count());
+  }
+
+  ServerOptions options = FastOptions();
+  options.worker_threads = 4;
+  Server server(std::move(db), options);
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 4;
+  std::vector<std::thread> clients;
+  std::vector<Status> failures(kClients, Status::OK());
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const size_t qi = size_t(c + i) % queries.size();
+        api::Result r = server.Execute(queries[qi]);
+        if (!r.ok()) {
+          failures[c] = r.status();
+          return;
+        }
+        // Bitwise-identical to the serial Session::Run answer.
+        if (r.count() != serial_counts[qi]) {
+          failures[c] = Status::Internal(
+              queries[qi] + ": served " + std::to_string(r.count()) +
+              " != serial " + std::to_string(serial_counts[qi]));
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (const Status& s : failures) EXPECT_TRUE(s.ok()) << s;
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.served, uint64_t(kClients * kRequestsPerClient));
+  EXPECT_EQ(stats.failed, 0u);
+  // Each distinct query was prepared at most a handful of times
+  // (concurrent first-misses may race), then served from cache.
+  EXPECT_GT(stats.cache.hits, 0u);
+}
+
+TEST(ServerTest, DestructorFulfillsEveryAdmittedFuture) {
+  std::vector<std::future<api::Result>> futures;
+  {
+    ServerOptions options = FastOptions();
+    options.worker_threads = 1;
+    Server server(SmallDatabase(8), options);
+    server.Pause();
+    for (int i = 0; i < 3; ++i) {
+      StatusOr<std::future<api::Result>> f = server.Submit(kPath);
+      ASSERT_TRUE(f.ok()) << f.status();
+      futures.push_back(std::move(f.value()));
+    }
+    // Server destroyed with requests still queued: the drain-on-stop
+    // contract says every admitted future is fulfilled first.
+  }
+  for (auto& f : futures) {
+    api::Result r = f.get();
+    EXPECT_TRUE(r.ok()) << r.status();
+    EXPECT_GT(r.count(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace adj::serve

@@ -41,6 +41,47 @@ TEST(ThreadPoolTest, EmptyBatchIsNoop) {
   SUCCEED();
 }
 
+TEST(ThreadPoolTest, StreamingSubmitRunsEveryTaskExactlyOnce) {
+  std::vector<std::atomic<int>> hits(64);
+  ThreadPool pool(4);
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&hits, i] { hits[size_t(i)]++; });
+  }
+  pool.WaitIdle();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // The pool stays usable: more submissions after an idle period.
+  std::atomic<int> more{0};
+  pool.Submit([&more] { more++; });
+  pool.WaitIdle();
+  EXPECT_EQ(more.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingSubmittedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    // Many quick submissions; some are still queued when the pool is
+    // destroyed — the drain contract says all of them still run.
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&ran] { ran++; });
+    }
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolTest, StreamingAndBatchModesInterleave) {
+  ThreadPool pool(3);
+  std::atomic<int> streamed{0};
+  for (int i = 0; i < 16; ++i) pool.Submit([&streamed] { streamed++; });
+  std::vector<std::function<void()>> tasks;
+  std::atomic<int> batched{0};
+  for (int i = 0; i < 16; ++i) tasks.push_back([&batched] { batched++; });
+  pool.RunAll(tasks);  // a batch while submitted tasks drain
+  pool.WaitIdle();
+  EXPECT_EQ(streamed.load(), 16);
+  EXPECT_EQ(batched.load(), 16);
+}
+
 TEST(RunTasksTest, SequentialWhenOneThread) {
   // With threads=1 tasks must run in submission order.
   std::vector<int> order;
