@@ -1,0 +1,119 @@
+// Prepared-query index-reuse smoke: prepare once, run twice, and
+// assert the warm (second) run is at least 5x faster than the cold
+// (first) run. The first run pays every index build — shard routing,
+// per-server sorts, Trie::Build — while the second binds and shuffles
+// purely out of the shared IndexCache and builds zero tries. The
+// workload is the serving hot path the index layer exists for: a
+// selective prepared query re-executed against stable data. Exits
+// non-zero on any violation, so CI's Release leg catches a regression
+// of the reuse path, and emits BENCH_index_reuse.json so the perf
+// trajectory is recorded per run.
+//
+// Scale knobs: ADJ_BENCH_SCALE / ADJ_BENCH_SERVERS (bench_util.h).
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+
+namespace adj::bench {
+namespace {
+
+// A non-hub vertex: the warm run is then a genuinely small probe (the
+// serving point-lookup), while the cold run still builds the full
+// unselected atom's shard tries.
+constexpr char kQuery[] = "G(a,b) G(b,c) G(a,c) | a=300";
+constexpr double kMinSpeedup = 5.0;
+
+int Run() {
+  // Default above bench_util's 0.2: the gate needs the cold run's index
+  // builds well clear of timer noise.
+  const double scale = ScaleFromEnv(4.0);
+  StatusOr<api::Database> db = api::Database::OpenBuiltin("WB", scale);
+  ADJ_CHECK(db.ok()) << db.status();
+  api::Session session = db->OpenSession();
+  session.options().cluster.num_servers = ServersFromEnv();
+
+  WallTimer prepare_timer;
+  StatusOr<api::PreparedQuery> prepared = session.Prepare(kQuery);
+  ADJ_CHECK(prepared.ok()) << prepared.status();
+  const double prepare_s = prepare_timer.Seconds();
+  WallTimer cold_timer;
+  api::Result cold = prepared->Run();
+  ADJ_CHECK(cold.ok()) << cold.status();
+  const double cold_s = cold_timer.Seconds();
+
+  // Best of three warm runs: the smoke gates on reuse, not on
+  // scheduler noise.
+  double warm_s = 0.0;
+  api::Result warm;
+  for (int i = 0; i < 3; ++i) {
+    WallTimer warm_timer;
+    warm = prepared->Run();
+    const double s = warm_timer.Seconds();
+    if (i == 0 || s < warm_s) warm_s = s;
+    ADJ_CHECK(warm.ok()) << warm.status();
+  }
+  const double speedup = warm_s > 0 ? cold_s / warm_s : kMinSpeedup * 10;
+
+  std::printf(
+      "index-reuse smoke: out=%llu prepare=%.4fs cold=%.4fs warm=%.4fs "
+      "speedup=%.1fx builds(cold=%llu warm=%llu) pinned=%llu bytes\n",
+      static_cast<unsigned long long>(warm.count()), prepare_s, cold_s,
+      warm_s, speedup,
+      static_cast<unsigned long long>(cold.index_builds()),
+      static_cast<unsigned long long>(warm.index_builds()),
+      static_cast<unsigned long long>(prepared->resident_bytes()));
+
+  FILE* json = std::fopen("BENCH_index_reuse.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"index_reuse\",\n"
+                 "  \"query\": \"%s\",\n"
+                 "  \"dataset\": \"WB\",\n"
+                 "  \"scale\": %.4f,\n"
+                 "  \"prepare_seconds\": %.6f,\n"
+                 "  \"output_count\": %llu,\n"
+                 "  \"cold_seconds\": %.6f,\n"
+                 "  \"warm_seconds\": %.6f,\n"
+                 "  \"speedup\": %.2f,\n"
+                 "  \"index_builds_cold\": %llu,\n"
+                 "  \"index_builds_warm\": %llu,\n"
+                 "  \"index_reused_warm\": %llu,\n"
+                 "  \"pinned_index_bytes\": %llu\n"
+                 "}\n",
+                 kQuery, scale, prepare_s,
+                 static_cast<unsigned long long>(warm.count()), cold_s,
+                 warm_s, speedup,
+                 static_cast<unsigned long long>(cold.index_builds()),
+                 static_cast<unsigned long long>(warm.index_builds()),
+                 static_cast<unsigned long long>(warm.index_reused()),
+                 static_cast<unsigned long long>(prepared->resident_bytes()));
+    std::fclose(json);
+  }
+
+  int failures = 0;
+  if (warm.index_builds() != 0) {
+    std::fprintf(stderr, "FAIL: warm run built %llu indexes (want 0)\n",
+                 static_cast<unsigned long long>(warm.index_builds()));
+    ++failures;
+  }
+  if (warm.count() != cold.count()) {
+    std::fprintf(stderr, "FAIL: warm count %llu != cold count %llu\n",
+                 static_cast<unsigned long long>(warm.count()),
+                 static_cast<unsigned long long>(cold.count()));
+    ++failures;
+  }
+  if (speedup < kMinSpeedup) {
+    std::fprintf(stderr, "FAIL: warm speedup %.1fx < %.1fx\n", speedup,
+                 kMinSpeedup);
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace adj::bench
+
+int main() { return adj::bench::Run(); }

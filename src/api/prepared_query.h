@@ -51,6 +51,19 @@ class PreparedQuery {
   /// sampling, wall clock).
   double planning_seconds() const { return planned_.optimize_s; }
 
+  /// Memory this prepared query keeps resident between runs as
+  /// measured at Prepare time: the bound-atom index artifacts its
+  /// ExecutionContext pins plus its materialized bag relations. What
+  /// serve::PreparedQueryCache charges against its byte budget.
+  /// Copies share the context, so they report (and cost) the same
+  /// bytes once. NOT included: the per-server shard artifacts the
+  /// first Run() builds into the shared storage::IndexCache — those
+  /// are accounted (and LRU-evictable when idle) under the index
+  /// cache's own budget (serve::ServerOptions::index_cache_budget_bytes).
+  uint64_t resident_bytes() const {
+    return ctx_ != nullptr ? ctx_->ResidentBytes() : 0;
+  }
+
   /// Executes the cached plan against the session's catalog, under the
   /// engine options snapshotted at Prepare time.
   Result Run();

@@ -59,6 +59,13 @@ class Result {
   double communication_seconds() const { return run_.report.comm_s; }
   double computation_seconds() const { return run_.report.comp_s; }
 
+  /// Shared-index-layer accounting for this run: artifacts built vs.
+  /// borrowed from the cache. A prepared (or server-cached) query
+  /// reports index_builds() == 0 from its second run on — the
+  /// observable "no per-run rebuild" guarantee.
+  uint64_t index_builds() const { return run_.report.index_builds; }
+  uint64_t index_reused() const { return run_.report.index_reused; }
+
   /// Full underlying execution report (shuffle volumes, per-level
   /// intermediate counts, plan description).
   const exec::RunReport& report() const { return run_.report; }

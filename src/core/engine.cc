@@ -71,11 +71,6 @@ query::AttributeOrder AscendingOrder(const query::Query& sub) {
   return order;
 }
 
-double CalibratedBetaPrecomputed() {
-  static const double kBeta = optimizer::CalibrateBetaPrecomputed();
-  return kBeta;
-}
-
 /// Shared estimation state for one planning run: memoizes sub-query
 /// cardinalities keyed by atom mask.
 class EstimationContext {
@@ -222,7 +217,12 @@ StatusOr<PlanResult> Engine::Plan(const query::Query& q,
   in.cluster = options.cluster;
   in.cost_model.net = options.cluster.net;
   in.cost_model.num_servers = options.cluster.num_servers;
-  in.cost_model.beta_precomputed = CalibratedBetaPrecomputed();
+  // Calibrate against the largest index this query binds, under the
+  // sampling order's key — the artifact the sampling pass above just
+  // resolved through the shared cache, so the probe reuses it rather
+  // than building anything (the measured rate is memoized per trie).
+  in.cost_model.beta_precomputed =
+      optimizer::CalibrateBetaPrecomputed(*db_, q, sampling_order);
   if (result.beta_raw > 1.0) {
     in.cost_model.beta_raw =
         std::min(result.beta_raw, in.cost_model.beta_precomputed);
@@ -273,6 +273,10 @@ StatusOr<ExecutionContext> Engine::PrepareExecution(
   ExecutionContext ctx;
   ctx.order = plan.order;
   ctx.plan_description = plan.ToString(q);
+  // The execution catalog shares the engine catalog's index cache, so
+  // binds against aliased bases resolve to the indexes every other
+  // consumer of this catalog already built (and vice versa).
+  ctx.db.ShareIndexCacheWith(*db_);
 
   // Build the execution catalog: the base relations the rewritten
   // query still references are aliased — shared, never copied — from
@@ -306,7 +310,20 @@ StatusOr<ExecutionContext> Engine::PrepareExecution(
     ctx.precompute_s += bag->comm_s + bag->comp_s +
                         options.cluster.net.stage_overhead_s;
     ctx.precompute_comm.Add(bag->comm);
+    ctx.bag_bytes += bag->rel.SizeBytes();
     ctx.db.Put(name, std::move(bag->rel));
+  }
+
+  // Pin the bound-atom indexes the final join will request (bases and
+  // bags alike): they are built now, shared through the cache, and the
+  // handles keep them resident for as long as this context lives — no
+  // run of this context rebuilds them.
+  StatusOr<std::vector<exec::BoundAtom>> bound =
+      exec::BindAtomsForOrder(ctx.query, ctx.db, ctx.order);
+  if (!bound.ok()) return bound.status();
+  for (exec::BoundAtom& b : *bound) {
+    ctx.pinned_index_bytes += b.index->Bytes();
+    ctx.pinned_indexes.push_back(std::move(b.index));
   }
   return ctx;
 }
@@ -340,6 +357,8 @@ StatusOr<exec::RunReport> Engine::RunPrepared(const ExecutionContext& ctx,
   report.overhead_s += run->report.overhead_s;
   report.tuples_at_level = run->report.tuples_at_level;
   report.extensions = run->report.extensions;
+  report.index_builds = run->report.index_builds;
+  report.index_reused = run->report.index_reused;
   report.rounds = 1;
   return report;
 }

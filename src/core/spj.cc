@@ -108,6 +108,11 @@ StatusOr<SpjQuery> ParseSpj(const std::string& text) {
 StatusOr<PushedDown> PushDownSelections(const storage::Catalog& db,
                                          const SpjQuery& spj) {
   PushedDown out;
+  // The reduced catalog shares the source's index cache: aliased
+  // (unfiltered) atoms bind to the indexes the source's consumers
+  // already built; filtered copies get their own entries, swept once
+  // the prepared query holding them goes away.
+  out.catalog.ShareIndexCacheWith(db);
   std::vector<query::Atom> new_atoms;
   for (int i = 0; i < spj.join.num_atoms(); ++i) {
     const query::Atom& atom = spj.join.atom(i);

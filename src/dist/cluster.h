@@ -2,6 +2,7 @@
 #define ADJ_DIST_CLUSTER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
@@ -26,9 +27,14 @@ struct ClusterConfig {
 /// the trie built over it, and the query attribute of each trie level.
 /// `resident_bytes` is the memory the fragments + tries occupy, the
 /// quantity CheckMemory() audits against the per-server budget.
+///
+/// Fragments and tries are shared handles, never deep copies: when the
+/// shuffle runs against a storage::IndexCache, every shard of every
+/// run of a query borrows the same resident blocks and tries, so a
+/// repeat run re-populates a Cluster at pointer-copy cost.
 struct LocalShard {
-  std::vector<storage::Relation> atoms;
-  std::vector<storage::Trie> tries;
+  std::vector<std::shared_ptr<const storage::Relation>> atoms;
+  std::vector<std::shared_ptr<const storage::Trie>> tries;
   std::vector<std::vector<AttrId>> attrs;
   uint64_t resident_bytes = 0;
 

@@ -75,11 +75,14 @@ StatusOr<RunReport> RunBigJoin(const query::Query& q,
   // Global per-relation tries, columns in attribute-order layout
   // (BigJoin keeps each relation sharded and indexed; we simulate the
   // index and charge communication for routing bindings to shards).
-  StatusOr<std::vector<BoundAtom>> bound = BindAtomsForOrder(q, db, order);
+  // The bound atoms arrive trie-indexed from the shared index layer —
+  // no local Trie::Build.
+  storage::IndexBuildStats index_stats;
+  StatusOr<std::vector<BoundAtom>> bound =
+      BindAtomsForOrder(q, db, order, &index_stats);
   if (!bound.ok()) return bound.status();
-  std::vector<Trie> tries;
-  tries.reserve(bound->size());
-  for (const BoundAtom& b : *bound) tries.push_back(Trie::Build(b.rel));
+  report.index_builds = index_stats.builds;
+  report.index_reused = index_stats.hits;
 
   const int n = static_cast<int>(order.size());
   const std::vector<int> rank = query::RankOf(order, q.num_attrs());
@@ -119,7 +122,7 @@ StatusOr<RunReport> RunBigJoin(const query::Query& q,
     std::vector<int> part_levels;
     for (int a : parts) {
       const auto& attrs = (*bound)[size_t(a)].attrs;
-      part_tries.push_back(&tries[size_t(a)]);
+      part_tries.push_back(&(*bound)[size_t(a)].trie());
       part_levels.push_back(static_cast<int>(
           std::find(attrs.begin(), attrs.end(), order[i]) - attrs.begin()));
     }

@@ -3,27 +3,26 @@
 #include <algorithm>
 
 #include "common/timer.h"
+#include "wcoj/leapfrog.h"
 #include "wcoj/naive_join.h"
 
 namespace adj::exec {
 namespace {
 
-/// Binds an atom with columns normalized to ascending attribute ids.
-StatusOr<storage::Relation> BindAtom(const query::Atom& atom,
-                                     const storage::Catalog& db) {
-  StatusOr<const storage::Relation*> base = db.Get(atom.relation);
+/// Binds an atom with columns normalized to ascending attribute ids,
+/// borrowing the sorted relation from the shared index layer.
+StatusOr<std::shared_ptr<const storage::PreparedIndex>> BindAtom(
+    const query::Atom& atom, const storage::Catalog& db,
+    const std::vector<int>& ascending_rank,
+    storage::IndexBuildStats* stats) {
+  StatusOr<std::shared_ptr<const storage::Relation>> base =
+      db.GetShared(atom.relation);
   if (!base.ok()) return base.status();
-  std::vector<AttrId> attrs = atom.schema.attrs();
-  std::vector<int> perm(attrs.size());
-  for (size_t i = 0; i < perm.size(); ++i) perm[i] = int(i);
-  std::sort(perm.begin(), perm.end(),
-            [&](int x, int y) { return attrs[x] < attrs[y]; });
-  std::vector<AttrId> sorted(attrs.size());
-  for (size_t i = 0; i < perm.size(); ++i) sorted[i] = attrs[perm[i]];
-  storage::Relation rel =
-      (*base)->PermuteColumns(storage::Schema(sorted), perm);
-  rel.SortAndDedup();
-  return rel;
+  StatusOr<wcoj::SharedPreparedRelation> prepared =
+      wcoj::PrepareRelationShared(std::move(*base), atom.schema.attrs(),
+                                  ascending_rank, db.index_cache(), stats);
+  if (!prepared.ok()) return prepared.status();
+  return std::move(prepared->index);
 }
 
 }  // namespace
@@ -38,13 +37,21 @@ StatusOr<RunReport> RunBinaryJoin(const query::Query& q,
   const int n_servers = cluster->num_servers();
   WallTimer deadline;
 
-  // Bind all atoms.
-  std::vector<storage::Relation> rels;
+  // Bind all atoms through the shared index layer.
+  const std::vector<int> ascending_rank =
+      wcoj::AscendingRank(q.num_attrs());
+  storage::IndexBuildStats bind_stats;
+  std::vector<const storage::Relation*> rels;
+  std::vector<std::shared_ptr<const storage::PreparedIndex>> bound;
   for (const query::Atom& atom : q.atoms()) {
-    StatusOr<storage::Relation> bound = BindAtom(atom, db);
-    if (!bound.ok()) return bound.status();
-    rels.push_back(std::move(bound.value()));
+    StatusOr<std::shared_ptr<const storage::PreparedIndex>> index =
+        BindAtom(atom, db, ascending_rank, &bind_stats);
+    if (!index.ok()) return index.status();
+    bound.push_back(std::move(index.value()));
+    rels.push_back(bound.back()->rel.get());
   }
+  report.index_builds = bind_stats.builds;
+  report.index_reused = bind_stats.hits;
 
   // Greedy join order: start from the smallest relation, repeatedly
   // join the smallest relation sharing an attribute with the current
@@ -52,10 +59,10 @@ StatusOr<RunReport> RunBinaryJoin(const query::Query& q,
   std::vector<bool> used(rels.size(), false);
   size_t first = 0;
   for (size_t i = 1; i < rels.size(); ++i) {
-    if (rels[i].size() < rels[first].size()) first = i;
+    if (rels[i]->size() < rels[first]->size()) first = i;
   }
   used[first] = true;
-  storage::Relation acc = rels[first];
+  storage::Relation acc = *rels[first];
   report.rounds = 0;
 
   auto shared_attr = [&](const storage::Relation& r) {
@@ -68,8 +75,8 @@ StatusOr<RunReport> RunBinaryJoin(const query::Query& q,
   for (size_t step = 1; step < rels.size(); ++step) {
     int next = -1;
     for (size_t i = 0; i < rels.size(); ++i) {
-      if (used[i] || !shared_attr(rels[i])) continue;
-      if (next < 0 || rels[i].size() < rels[size_t(next)].size()) {
+      if (used[i] || !shared_attr(*rels[i])) continue;
+      if (next < 0 || rels[i]->size() < rels[size_t(next)]->size()) {
         next = int(i);
       }
     }
@@ -86,8 +93,8 @@ StatusOr<RunReport> RunBinaryJoin(const query::Query& q,
     used[size_t(next)] = true;
 
     // Round accounting: repartition both sides on the join key.
-    const uint64_t copies = acc.size() + rels[size_t(next)].size();
-    const uint64_t bytes = acc.SizeBytes() + rels[size_t(next)].SizeBytes();
+    const uint64_t copies = acc.size() + rels[size_t(next)]->size();
+    const uint64_t bytes = acc.SizeBytes() + rels[size_t(next)]->SizeBytes();
     report.comm.tuple_copies += copies;
     report.comm.bytes += bytes;
     report.comm_s += dist::PushSeconds(net, copies, bytes, n_servers);
@@ -98,7 +105,7 @@ StatusOr<RunReport> RunBinaryJoin(const query::Query& q,
     // intermediate must fit the cluster.
     const uint64_t cluster_mem =
         uint64_t(n_servers) * cluster->config().memory_per_server_bytes;
-    if (acc.SizeBytes() + rels[size_t(next)].SizeBytes() > cluster_mem) {
+    if (acc.SizeBytes() + rels[size_t(next)]->SizeBytes() > cluster_mem) {
       report.status = Status::ResourceExhausted(
           "binary join intermediate exceeds cluster memory");
       return report;
@@ -106,7 +113,7 @@ StatusOr<RunReport> RunBinaryJoin(const query::Query& q,
 
     WallTimer join_timer;
     StatusOr<storage::Relation> joined =
-        wcoj::HashJoin(acc, rels[size_t(next)], limits.max_materialized_rows);
+        wcoj::HashJoin(acc, *rels[size_t(next)], limits.max_materialized_rows);
     if (!joined.ok()) {
       report.status = joined.status();
       return report;

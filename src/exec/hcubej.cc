@@ -11,12 +11,13 @@ namespace adj::exec {
 
 StatusOr<std::vector<BoundAtom>> BindAtomsForOrder(
     const query::Query& q, const storage::Catalog& db,
-    const query::AttributeOrder& order) {
+    const query::AttributeOrder& order, storage::IndexBuildStats* stats) {
   const std::vector<int> rank = query::RankOf(order, q.num_attrs());
   std::vector<BoundAtom> bound;
   bound.reserve(q.num_atoms());
   for (const query::Atom& atom : q.atoms()) {
-    StatusOr<const storage::Relation*> base = db.Get(atom.relation);
+    StatusOr<std::shared_ptr<const storage::Relation>> base =
+        db.GetShared(atom.relation);
     if (!base.ok()) return base.status();
     if ((*base)->arity() != atom.schema.arity()) {
       return Status::InvalidArgument("atom arity mismatch for relation " +
@@ -28,12 +29,13 @@ StatusOr<std::vector<BoundAtom>> BindAtomsForOrder(
             "attribute order does not cover all query attributes");
       }
     }
-    std::vector<int> perm;
-    storage::Schema sorted = atom.schema.SortedBy(rank, &perm);
+    StatusOr<wcoj::SharedPreparedRelation> prepared =
+        wcoj::PrepareRelationShared(std::move(*base), atom.schema.attrs(),
+                                    rank, db.index_cache(), stats);
+    if (!prepared.ok()) return prepared.status();
     BoundAtom b;
-    b.rel = (*base)->PermuteColumns(sorted, perm);
-    b.rel.SortAndDedup();
-    b.attrs = sorted.attrs();
+    b.index = std::move(prepared->index);
+    b.attrs = std::move(prepared->attrs);
     bound.push_back(std::move(b));
   }
   return bound;
@@ -48,7 +50,9 @@ StatusOr<HCubeJOutput> RunHCubeJ(const query::Query& q,
   out.report.method = params.use_cache ? "HCubeJ+Cache" : "HCubeJ";
   out.report.rounds = 1;
 
-  StatusOr<std::vector<BoundAtom>> bound = BindAtomsForOrder(q, db, order);
+  storage::IndexBuildStats index_stats;
+  StatusOr<std::vector<BoundAtom>> bound =
+      BindAtomsForOrder(q, db, order, &index_stats);
   if (!bound.ok()) return bound.status();
 
   // Shares: use the provided vector or solve Eq. (3).
@@ -58,8 +62,8 @@ StatusOr<HCubeJOutput> RunHCubeJ(const query::Query& q,
     for (size_t i = 0; i < bound->size(); ++i) {
       optimizer::ShareInput in;
       in.schema = q.atom(int(i)).schema.Mask();
-      in.tuples = (*bound)[i].rel.size();
-      in.bytes = (*bound)[i].rel.SizeBytes();
+      in.tuples = (*bound)[i].rel().size();
+      in.bytes = (*bound)[i].rel().SizeBytes();
       inputs.push_back(in);
     }
     StatusOr<dist::ShareVector> opt =
@@ -69,14 +73,19 @@ StatusOr<HCubeJOutput> RunHCubeJ(const query::Query& q,
   }
   out.share_used = share;
 
-  // One-round shuffle.
+  // One-round shuffle; each input's bound index doubles as the cache
+  // pin so shard fragments/tries are built once and reused by every
+  // later shuffle of the same input under the same configuration.
   std::vector<dist::HCubeInput> hinputs;
   hinputs.reserve(bound->size());
   for (const BoundAtom& b : *bound) {
-    hinputs.push_back(dist::HCubeInput{&b.rel, b.attrs});
+    hinputs.push_back(dist::HCubeInput{&b.rel(), b.attrs, b.index});
   }
   StatusOr<dist::HCubeResult> shuffle =
-      dist::HCubeShuffle(hinputs, share, params.variant, cluster);
+      dist::HCubeShuffle(hinputs, share, params.variant, cluster,
+                         &db.index_cache(), &index_stats);
+  out.report.index_builds = index_stats.builds;
+  out.report.index_reused = index_stats.hits;
   if (!shuffle.ok()) {
     out.report.status = shuffle.status();
     return out;
@@ -111,8 +120,9 @@ StatusOr<HCubeJOutput> RunHCubeJ(const query::Query& q,
       std::vector<wcoj::JoinInput> inputs;
       bool any_empty = false;
       for (size_t a = 0; a < shard.tries.size(); ++a) {
-        if (shard.tries[a].empty()) any_empty = true;
-        inputs.push_back(wcoj::JoinInput{&shard.tries[a], shard.attrs[a]});
+        if (shard.tries[a]->empty()) any_empty = true;
+        inputs.push_back(
+            wcoj::JoinInput{shard.tries[a].get(), shard.attrs[a]});
       }
       if (any_empty) return;  // this hypercube produces nothing
       slot.ran = true;

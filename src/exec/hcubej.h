@@ -16,17 +16,26 @@
 namespace adj::exec {
 
 /// A query atom bound to its base relation and re-columned for a
-/// specific attribute order: columns ascend by order rank and the
-/// rows are sorted/deduplicated — ready for HCube and trie building.
+/// specific attribute order: columns ascend by order rank and the rows
+/// are sorted/deduplicated — ready for HCube and trie building. The
+/// relation and trie are borrowed from the catalog's IndexCache
+/// (shared, never deep-copied), so repeated binds of one (relation,
+/// order) pair return pointer-identical artifacts.
 struct BoundAtom {
-  storage::Relation rel;
+  std::shared_ptr<const storage::PreparedIndex> index;
   std::vector<AttrId> attrs;
+
+  const storage::Relation& rel() const { return *index->rel; }
+  const storage::Trie& trie() const { return *index->trie; }
 };
 
-/// Binds every atom of `q` against `db` and permutes it for `order`.
+/// Binds every atom of `q` against `db` and permutes it for `order`,
+/// resolving each bind through db.index_cache(). `stats`, when given,
+/// records per-atom cache builds vs. hits.
 StatusOr<std::vector<BoundAtom>> BindAtomsForOrder(
     const query::Query& q, const storage::Catalog& db,
-    const query::AttributeOrder& order);
+    const query::AttributeOrder& order,
+    storage::IndexBuildStats* stats = nullptr);
 
 struct HCubeJParams {
   /// Share vector; leave empty to have the optimal shares computed

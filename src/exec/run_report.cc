@@ -8,15 +8,18 @@ std::string RunReport::ToString() const {
   if (!status.ok()) {
     return method + ": FAILED (" + status.ToString() + ")";
   }
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "%s: out=%llu total=%.3fs (opt=%.3f pre=%.3f comm=%.3f "
-                "comp=%.3f ovh=%.3f) shuffled=%llu tuples",
+                "comp=%.3f ovh=%.3f) shuffled=%llu tuples "
+                "indexes(built=%llu reused=%llu)",
                 method.c_str(), static_cast<unsigned long long>(output_count),
                 TotalSeconds(), optimize_s, precompute_s, comm_s, comp_s,
                 overhead_s,
                 static_cast<unsigned long long>(comm.tuple_copies +
-                                                precompute_comm.tuple_copies));
+                                                precompute_comm.tuple_copies),
+                static_cast<unsigned long long>(index_builds),
+                static_cast<unsigned long long>(index_reused));
   return buf;
 }
 

@@ -39,6 +39,14 @@ struct RunReport {
   std::vector<uint64_t> tuples_at_level;
   uint64_t extensions = 0;
 
+  /// Index-layer accounting for this run: artifacts (bound-atom
+  /// indexes, shard fragments+tries) this run constructed vs. borrowed
+  /// from the shared storage::IndexCache. A prepared query's second
+  /// run reports index_builds == 0 — the observable form of "cached
+  /// tries end the per-run rebuild".
+  uint64_t index_builds = 0;
+  uint64_t index_reused = 0;
+
   std::string plan_description;
 
   double TotalSeconds() const {

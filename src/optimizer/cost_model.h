@@ -2,8 +2,13 @@
 #define ADJ_OPTIMIZER_COST_MODEL_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "dist/cluster.h"
+#include "query/attribute_order.h"
+#include "query/query.h"
+#include "storage/catalog.h"
 
 namespace adj::optimizer {
 
@@ -36,8 +41,23 @@ struct CostModel {
 
 /// Measures beta_precomputed by timing seeks on a synthetic
 /// calibration trie of roughly `trie_tuples` tuples (the paper
-/// pre-measures beta on tries of various sizes).
+/// pre-measures beta on tries of various sizes). The calibration
+/// index is resolved through a process-wide IndexCache, so repeated
+/// calibrations at one size share a single build.
 double CalibrateBetaPrecomputed(uint64_t trie_tuples = 1 << 16);
+
+/// Same measurement, but probing the catalog's own data: seeks run
+/// against the cached index of the query's largest atom *under
+/// exactly the bind key the sampler used* (`order`'s ranks), so
+/// calibration reuses — and at worst warms — an artifact the planning
+/// pass itself binds, instead of building a throwaway trie. Falls
+/// back to the synthetic calibration when the query binds no
+/// non-empty relation. The measured rate is memoized per probed trie
+/// (it is a hardware constant), so repeated planning passes pay only
+/// the cache lookup.
+double CalibrateBetaPrecomputed(const storage::Catalog& db,
+                                const query::Query& q,
+                                const query::AttributeOrder& order);
 
 }  // namespace adj::optimizer
 

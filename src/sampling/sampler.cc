@@ -24,32 +24,35 @@ StatusOr<SampleEstimate> SampleCardinality(const query::Query& q,
   WallTimer timer;
   SampleEstimate est;
 
-  // Prepare tries for the sampling order.
+  // Resolve tries for the sampling order through the shared index
+  // layer: sampling warms exactly the bound indexes the later join
+  // will borrow, and repeated sampling passes rebuild nothing.
   const std::vector<int> rank = query::RankOf(order, q.num_attrs());
-  std::vector<wcoj::PreparedRelation> prepared;
+  std::vector<wcoj::SharedPreparedRelation> prepared;
   std::vector<wcoj::JoinInput> inputs;
   prepared.reserve(q.num_atoms());
   for (const query::Atom& atom : q.atoms()) {
-    StatusOr<const storage::Relation*> base = db.Get(atom.relation);
+    StatusOr<std::shared_ptr<const storage::Relation>> base =
+        db.GetShared(atom.relation);
     if (!base.ok()) return base.status();
-    StatusOr<wcoj::PreparedRelation> prep =
-        wcoj::PrepareRelation(**base, atom.schema.attrs(), rank);
+    StatusOr<wcoj::SharedPreparedRelation> prep = wcoj::PrepareRelationShared(
+        std::move(*base), atom.schema.attrs(), rank, db.index_cache());
     if (!prep.ok()) return prep.status();
     prepared.push_back(std::move(prep.value()));
   }
-  for (const wcoj::PreparedRelation& p : prepared) {
-    inputs.push_back(wcoj::JoinInput{&p.trie, p.attrs});
+  for (const wcoj::SharedPreparedRelation& p : prepared) {
+    inputs.push_back(wcoj::JoinInput{&p.trie(), p.attrs});
   }
 
   // val(A): intersect the A-projections of the relations containing A.
   const AttrId attr_a = order[0];
   std::vector<Value> val_a;
   bool first = true;
-  for (const wcoj::PreparedRelation& p : prepared) {
+  for (const wcoj::SharedPreparedRelation& p : prepared) {
     if (p.attrs.empty() || p.attrs[0] != attr_a) continue;
     // A is the first trie level (it ranks first), so level-0 values
     // are exactly the distinct A-projection.
-    std::span<const Value> level0 = p.trie.values(0);
+    std::span<const Value> level0 = p.trie().values(0);
     if (first) {
       val_a.assign(level0.begin(), level0.end());
       first = false;
@@ -115,18 +118,18 @@ StatusOr<SampleEstimate> SampleCardinality(const query::Query& q,
     sampled.erase(std::unique(sampled.begin(), sampled.end()),
                   sampled.end());
     uint64_t copies = 0, bytes = 0;
-    for (const wcoj::PreparedRelation& p : prepared) {
+    for (const wcoj::SharedPreparedRelation& p : prepared) {
       if (!p.attrs.empty() && p.attrs[0] == attr_a) {
         // Projection shuffle.
-        copies += p.trie.values(0).size();
-        bytes += p.trie.values(0).size() * sizeof(Value);
+        copies += p.trie().values(0).size();
+        bytes += p.trie().values(0).size() * sizeof(Value);
         // Reduced relation shuffle.
-        storage::Relation reduced = p.rel.SemiJoinFilter(0, sampled);
+        storage::Relation reduced = p.rel().SemiJoinFilter(0, sampled);
         copies += reduced.size();
         bytes += reduced.SizeBytes();
       } else {
-        copies += p.rel.size();
-        bytes += p.rel.SizeBytes();
+        copies += p.rel().size();
+        bytes += p.rel().SizeBytes();
       }
     }
     est.comm.tuple_copies = copies;

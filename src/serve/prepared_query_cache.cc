@@ -13,6 +13,7 @@ std::optional<api::PreparedQuery> PreparedQueryCache::Lookup(
   if (it->second->generation != generation) {
     // The catalog changed since this plan was prepared: its
     // ExecutionContext may alias replaced relations — drop, miss.
+    stats_.resident_bytes -= it->second->bytes;
     entries_.erase(it->second);
     index_.erase(it);
     ++stats_.invalidations;
@@ -24,35 +25,58 @@ std::optional<api::PreparedQuery> PreparedQueryCache::Lookup(
   return entries_.front().prepared;
 }
 
+void PreparedQueryCache::EvictBackLocked() {
+  stats_.resident_bytes -= entries_.back().bytes;
+  index_.erase(entries_.back().key);
+  entries_.pop_back();
+  ++stats_.evictions;
+}
+
 void PreparedQueryCache::Insert(const std::string& key, uint64_t generation,
                                 api::PreparedQuery prepared) {
   if (capacity_ == 0) return;
+  const uint64_t bytes = prepared.resident_bytes();
   std::lock_guard<std::mutex> lock(mu_);
+  if (memory_budget_bytes_ > 0 && bytes > memory_budget_bytes_) {
+    // Larger than the whole budget: caching it would evict everything
+    // and still overshoot. The caller keeps its own instance; later
+    // requests for this key re-prepare.
+    ++stats_.oversize_rejects;
+    return;
+  }
   auto it = index_.find(key);
   if (it != index_.end()) {
     if (it->second->generation == generation) return;  // racing worker won
+    stats_.resident_bytes -= it->second->bytes;
     entries_.erase(it->second);
     index_.erase(it);
     ++stats_.invalidations;
   }
-  while (entries_.size() >= capacity_) {
-    index_.erase(entries_.back().key);
-    entries_.pop_back();
-    ++stats_.evictions;
+  while (entries_.size() >= capacity_) EvictBackLocked();
+  while (memory_budget_bytes_ > 0 && !entries_.empty() &&
+         stats_.resident_bytes + bytes > memory_budget_bytes_) {
+    EvictBackLocked();
   }
-  entries_.push_front(Entry{key, generation, std::move(prepared)});
+  entries_.push_front(Entry{key, generation, bytes, std::move(prepared)});
   index_[key] = entries_.begin();
+  stats_.resident_bytes += bytes;
 }
 
 void PreparedQueryCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   index_.clear();
+  stats_.resident_bytes = 0;
 }
 
 size_t PreparedQueryCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+uint64_t PreparedQueryCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.resident_bytes;
 }
 
 PreparedQueryCache::Stats PreparedQueryCache::stats() const {

@@ -43,13 +43,26 @@ class PreparedQueryCache {
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
-    uint64_t evictions = 0;      // LRU capacity evictions
+    uint64_t evictions = 0;      // LRU evictions (capacity or bytes)
     uint64_t invalidations = 0;  // generation-mismatch drops
+    uint64_t oversize_rejects = 0;  // entries bigger than the budget
+    uint64_t resident_bytes = 0;    // current pinned-index + bag bytes
   };
 
   /// `capacity` = max resident entries; 0 disables caching (every
   /// lookup misses, every insert is dropped).
-  explicit PreparedQueryCache(size_t capacity) : capacity_(capacity) {}
+  ///
+  /// `memory_budget_bytes` bounds what the cached entries keep
+  /// resident — each entry is charged its PreparedQuery's
+  /// resident_bytes(), i.e. the index artifacts its ExecutionContext
+  /// pins plus its materialized bags (bytes, not entry counts — cached
+  /// plans differ by orders of magnitude in footprint). Inserting past
+  /// the budget evicts from the LRU tail; an entry alone exceeding the
+  /// budget is not cached at all (counted in Stats::oversize_rejects).
+  /// 0 = no byte budget, the entry cap alone bounds the cache.
+  explicit PreparedQueryCache(size_t capacity,
+                              uint64_t memory_budget_bytes = 0)
+      : capacity_(capacity), memory_budget_bytes_(memory_budget_bytes) {}
 
   PreparedQueryCache(const PreparedQueryCache&) = delete;
   PreparedQueryCache& operator=(const PreparedQueryCache&) = delete;
@@ -73,17 +86,24 @@ class PreparedQueryCache {
 
   size_t size() const;
   size_t capacity() const { return capacity_; }
+  uint64_t memory_budget_bytes() const { return memory_budget_bytes_; }
+  uint64_t resident_bytes() const;
   Stats stats() const;
 
  private:
   struct Entry {
     std::string key;
     uint64_t generation = 0;
+    uint64_t bytes = 0;  // resident_bytes() charge at insert time
     api::PreparedQuery prepared;
   };
   using EntryList = std::list<Entry>;
 
+  /// Drops the LRU tail entry. Caller holds mu_.
+  void EvictBackLocked();
+
   const size_t capacity_;
+  const uint64_t memory_budget_bytes_;
   mutable std::mutex mu_;
   EntryList entries_;  // front = most recently used
   std::unordered_map<std::string, EntryList::iterator> index_;

@@ -17,10 +17,14 @@ Server::Server(api::Database db, ServerOptions options)
     : db_(std::move(db)),
       options_(std::move(options)),
       session_(db_.OpenSession()),
-      cache_(options_.cache_capacity),
+      cache_(options_.cache_capacity, options_.cache_memory_budget_bytes),
       queue_(options_.queue_capacity),
       pool_(options_.worker_threads) {
   session_.options() = options_.engine;
+  if (options_.index_cache_budget_bytes > 0) {
+    db_.catalog().index_cache().set_budget_bytes(
+        options_.index_cache_budget_bytes);
+  }
 }
 
 Server::~Server() {

@@ -29,6 +29,19 @@ struct ServerOptions {
   size_t queue_capacity = 64;
   /// PreparedQueryCache entry bound (0 disables plan caching).
   size_t cache_capacity = 32;
+  /// Byte budget for what the plan cache keeps resident: every cached
+  /// PreparedQuery is charged its resident_bytes() — the index
+  /// artifacts its ExecutionContext pins plus its materialized bags.
+  /// Exceeding the budget evicts LRU entries; a single entry larger
+  /// than the budget is never cached. 0 = no byte budget (entry cap
+  /// only). See docs/SERVING.md, "Memory budget".
+  uint64_t cache_memory_budget_bytes = 0;
+  /// Byte budget applied to the database catalog's shared
+  /// storage::IndexCache — the bound-atom indexes and HCube shard
+  /// artifacts that outlive individual requests (shard artifacts are
+  /// *not* covered by cache_memory_budget_bytes: they are charged
+  /// here, where idle ones can be LRU-evicted). 0 = unbounded.
+  uint64_t index_cache_budget_bytes = 0;
   /// Deadline applied to requests that don't carry their own;
   /// infinity = none.
   double default_deadline_seconds =

@@ -8,6 +8,7 @@ namespace adj::storage {
 void Catalog::Put(const std::string& name, Relation rel) {
   relations_[name] = std::make_shared<const Relation>(std::move(rel));
   ++generation_;
+  index_cache_->Sweep();
 }
 
 Status Catalog::PutShared(const std::string& name,
@@ -17,6 +18,7 @@ Status Catalog::PutShared(const std::string& name,
   }
   relations_[name] = std::move(rel);
   ++generation_;
+  index_cache_->Sweep();
   return Status::OK();
 }
 
@@ -29,6 +31,7 @@ Status Catalog::Alias(const std::string& alias, const std::string& name) {
   std::shared_ptr<const Relation> rel = it->second;
   relations_[alias] = std::move(rel);
   ++generation_;
+  index_cache_->Sweep();
   return Status::OK();
 }
 

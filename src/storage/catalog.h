@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/index_cache.h"
 #include "storage/relation.h"
 
 namespace adj::storage {
@@ -87,9 +88,25 @@ class Catalog {
   /// valid while generation() == g.
   uint64_t generation() const { return generation_; }
 
+  /// The shared index layer riding alongside this catalog: every bind
+  /// site (wcoj / exec / dist / optimizer) requests permuted-sorted-
+  /// trie-indexed artifacts through it instead of constructing inline.
+  /// Internally synchronized, hence usable through const catalogs; a
+  /// generation bump sweeps entries whose source relation is no longer
+  /// reachable.
+  IndexCache& index_cache() const { return *index_cache_; }
+
+  /// Makes this catalog use `other`'s index cache, so indexes built
+  /// against relations aliased from `other` (execution catalogs,
+  /// selection-reduced catalogs) are shared rather than rebuilt.
+  void ShareIndexCacheWith(const Catalog& other) {
+    index_cache_ = other.index_cache_;
+  }
+
  private:
   std::map<std::string, std::shared_ptr<const Relation>> relations_;
   uint64_t generation_ = 0;
+  std::shared_ptr<IndexCache> index_cache_ = std::make_shared<IndexCache>();
 };
 
 }  // namespace adj::storage

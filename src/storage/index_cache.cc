@@ -1,0 +1,194 @@
+#include "storage/index_cache.h"
+
+#include <algorithm>
+
+namespace adj::storage {
+
+std::string SpecJoin(const std::vector<int>& xs) {
+  std::string out;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(xs[i]);
+  }
+  return out;
+}
+
+StatusOr<std::shared_ptr<const void>> IndexCache::GetOrBuild(
+    const void* identity, const std::string& spec,
+    std::shared_ptr<const void> pin, const BuildFn& build,
+    IndexBuildStats* stats) {
+  if (identity == nullptr || pin == nullptr) {
+    return Status::InvalidArgument("index cache key needs a live source");
+  }
+  const Key key{identity, spec};
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) break;  // miss: this thread builds
+    std::shared_ptr<Entry> entry = it->second;
+    if (!entry->ready) {
+      // Another thread is building this key: wait, then re-check (the
+      // entry is gone if that build failed, making us the builder).
+      ready_cv_.wait(lock);
+      continue;
+    }
+    entry->lru_tick = ++tick_;
+    ++stats_.hits;
+    if (stats != nullptr) ++stats->hits;
+    return entry->artifact;
+  }
+
+  auto entry = std::make_shared<Entry>();
+  entry->pin = std::move(pin);
+  entries_[key] = entry;
+  lock.unlock();
+  StatusOr<BuildResult> built = build();
+  lock.lock();
+  // A concurrent Clear() may have dropped our placeholder (and a new
+  // builder may have replaced it): only touch the map and the resident
+  // accounting if the placeholder is still ours.
+  auto it = entries_.find(key);
+  const bool resident = it != entries_.end() && it->second == entry;
+  if (!built.ok() || built->artifact == nullptr) {
+    if (resident) entries_.erase(it);
+    ++stats_.build_failures;
+    ready_cv_.notify_all();
+    return built.ok() ? Status::Internal("index build returned no artifact")
+                      : built.status();
+  }
+  entry->artifact = std::move(built->artifact);
+  entry->bytes = built->bytes;
+  entry->lru_tick = ++tick_;
+  entry->ready = true;
+  ++stats_.builds;
+  if (stats != nullptr) ++stats->builds;
+  if (resident) {
+    stats_.resident_bytes += entry->bytes;
+    EnforceBudgetLocked();
+  }
+  ready_cv_.notify_all();
+  return entry->artifact;
+}
+
+StatusOr<std::shared_ptr<const PreparedIndex>> IndexCache::GetPermuted(
+    std::shared_ptr<const Relation> base, const Schema& schema,
+    const std::vector<int>& perm, IndexBuildStats* stats) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("null base relation for index");
+  }
+  if (schema.arity() != static_cast<int>(perm.size()) ||
+      base->arity() != schema.arity()) {
+    return Status::InvalidArgument("column order arity mismatch for index");
+  }
+  const Relation* identity = base.get();
+  // The trie's shape depends only on the column permutation, but the
+  // schema rides along (consumers — HashJoin above all — read
+  // rel->schema() for join semantics), so both key. Cost: one
+  // physical artifact per distinct attr labeling of the same perm;
+  // splitting the attr labeling from the payload to dedup those is a
+  // noted ROADMAP follow-up.
+  std::string spec = "bind:p=" + SpecJoin(perm) + ";a=" + schema.ToString();
+  StatusOr<std::shared_ptr<const void>> artifact = GetOrBuild(
+      identity, spec, base,
+      [&]() -> StatusOr<BuildResult> {
+        auto index = std::make_shared<PreparedIndex>();
+        auto rel = std::make_shared<Relation>(
+            base->PermuteColumns(schema, perm));
+        rel->SortAndDedup();
+        index->trie = std::make_shared<const Trie>(Trie::Build(*rel));
+        index->rel = std::move(rel);
+        return BuildResult{index, index->Bytes()};
+      },
+      stats);
+  if (!artifact.ok()) return artifact.status();
+  return std::static_pointer_cast<const PreparedIndex>(*artifact);
+}
+
+bool IndexCache::SweepOnceLocked() {
+  // How many pins inside the cache share each source's control block:
+  // a source is unreachable when the cache accounts for every one of
+  // its remaining references.
+  std::map<const void*, long> cache_pins;
+  for (const auto& [key, entry] : entries_) {
+    if (entry->ready) ++cache_pins[entry->pin.get()];
+  }
+  bool dropped = false;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const Entry& e = *it->second;
+    if (e.ready && e.pin.use_count() <= cache_pins[e.pin.get()]) {
+      stats_.resident_bytes -= e.bytes;
+      ++stats_.evictions;
+      it = entries_.erase(it);
+      dropped = true;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+void IndexCache::Sweep() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Fixpoint: dropping a bound-atom entry releases its artifact, which
+  // may have been the last external reference pinning shard entries
+  // derived from it — the next pass collects those.
+  while (SweepOnceLocked()) {
+  }
+}
+
+void IndexCache::EnforceBudgetLocked() {
+  if (budget_bytes_ == 0) return;
+  while (stats_.resident_bytes > budget_bytes_) {
+    // LRU among entries no consumer holds right now; evicting a held
+    // artifact would not free memory anyway.
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      const Entry& e = *it->second;
+      if (!e.ready || e.artifact.use_count() > 1) continue;
+      if (victim == entries_.end() ||
+          e.lru_tick < victim->second->lru_tick) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // everything is in use
+    stats_.resident_bytes -= victim->second->bytes;
+    ++stats_.evictions;
+    entries_.erase(victim);
+  }
+}
+
+void IndexCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, entry] : entries_) {
+    if (entry->ready) {
+      stats_.resident_bytes -= entry->bytes;
+      ++stats_.evictions;
+    }
+  }
+  entries_.clear();
+}
+
+void IndexCache::set_budget_bytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_bytes_ = bytes;
+  EnforceBudgetLocked();
+}
+
+uint64_t IndexCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.resident_bytes;
+}
+
+size_t IndexCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+IndexCache::Stats IndexCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.entries = entries_.size();
+  return out;
+}
+
+}  // namespace adj::storage

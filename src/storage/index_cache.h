@@ -1,0 +1,167 @@
+#ifndef ADJ_STORAGE_INDEX_CACHE_H_
+#define ADJ_STORAGE_INDEX_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relation.h"
+#include "storage/trie.h"
+
+namespace adj::storage {
+
+/// A relation re-columned for one column order and indexed: the
+/// permuted, sorted, duplicate-free relation plus the trie built over
+/// it. This is the immutable artifact every join consumer *borrows*
+/// from the IndexCache instead of rebuilding per run — the way
+/// RDF-TDAA persists its trie-shaped indexes across queries rather
+/// than reconstructing them per lookup.
+struct PreparedIndex {
+  std::shared_ptr<const Relation> rel;  // permuted + SortAndDedup'ed
+  std::shared_ptr<const Trie> trie;     // built over `rel`
+
+  /// Resident payload: tuple data plus the trie's "three arrays".
+  uint64_t Bytes() const {
+    return (rel ? rel->SizeBytes() : 0) +
+           (trie ? trie->StorageValues() * sizeof(Value) : 0);
+  }
+};
+
+/// Per-call build accounting, threaded from a bind site up into the
+/// RunReport so "the second run built zero tries" is observable.
+struct IndexBuildStats {
+  uint64_t builds = 0;  // artifacts constructed by this consumer
+  uint64_t hits = 0;    // artifacts served from the cache
+};
+
+/// Process-wide cache of index artifacts keyed by (relation identity,
+/// build spec) — the shared index layer. One instance lives alongside
+/// each root storage::Catalog (execution and reduced catalogs share
+/// their source's cache), so every bind site that used to permute,
+/// sort, and Trie::Build inline now asks the cache and shares the
+/// result by pointer; tries are never deep-copied.
+///
+/// Key: `identity` is the address of the physical source object (a
+/// Relation for bound-atom indexes, a bound relation for HCube shard
+/// indexes); `spec` encodes everything else the build depends on
+/// (column order, share vector, variant, server count). Relations
+/// reachable through a catalog are immutable, so an entry never goes
+/// *stale* — it only becomes garbage once its source is unreachable.
+///
+/// Lifetime / invalidation: every entry carries a `pin`, a shared
+/// handle to its source. Sweep() — called by Catalog on every
+/// generation() bump — drops entries whose pin the cache alone still
+/// holds: replacing a relation evicts its indexes (and, transitively,
+/// shard indexes derived from them) as soon as the last consumer lets
+/// go, while indexes of untouched relations survive pointer-identical.
+/// The pin also rules out identity ABA: a key address cannot be reused
+/// while its entry is resident.
+///
+/// Concurrency: all operations are mutex-serialized except the build
+/// itself, which runs outside the lock under single-flight — N threads
+/// requesting one missing key perform exactly one build; the rest
+/// block and share the artifact. A failed build is not cached (the
+/// next request retries).
+///
+/// Memory: resident_bytes() totals every entry's artifact; an optional
+/// byte budget evicts least-recently-used entries that no consumer
+/// currently holds. (The serving layer additionally accounts the
+/// indexes *pinned* by cached prepared queries toward its own budget —
+/// see serve::PreparedQueryCache.)
+class IndexCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t builds = 0;
+    uint64_t build_failures = 0;
+    uint64_t evictions = 0;  // Sweep GC + budget evictions
+    uint64_t resident_bytes = 0;
+    uint64_t entries = 0;
+  };
+
+  /// `budget_bytes` caps resident artifact bytes (0 = unbounded).
+  explicit IndexCache(uint64_t budget_bytes = 0)
+      : budget_bytes_(budget_bytes) {}
+
+  IndexCache(const IndexCache&) = delete;
+  IndexCache& operator=(const IndexCache&) = delete;
+
+  /// What a build hands back: the type-erased artifact and its
+  /// resident size (charged against the budget).
+  struct BuildResult {
+    std::shared_ptr<const void> artifact;
+    uint64_t bytes = 0;
+  };
+  using BuildFn = std::function<StatusOr<BuildResult>()>;
+
+  /// The generic get-or-build: returns the artifact under
+  /// (identity, spec), invoking `build` (outside the cache lock,
+  /// single-flight) when absent. `pin` must keep `identity` alive and
+  /// is what Sweep() uses to decide reachability. `stats`, when given,
+  /// receives one hit or build tick.
+  StatusOr<std::shared_ptr<const void>> GetOrBuild(
+      const void* identity, const std::string& spec,
+      std::shared_ptr<const void> pin, const BuildFn& build,
+      IndexBuildStats* stats = nullptr);
+
+  /// The tentpole key — (relation identity, column order): `base`
+  /// with column i of the result taken from column perm[i], under
+  /// `schema`, sorted, deduplicated, and trie-indexed. Pointer-equal
+  /// results for repeated requests.
+  StatusOr<std::shared_ptr<const PreparedIndex>> GetPermuted(
+      std::shared_ptr<const Relation> base, const Schema& schema,
+      const std::vector<int>& perm, IndexBuildStats* stats = nullptr);
+
+  /// Garbage collection, run on every catalog generation bump: drops
+  /// entries (iterating to a fixpoint, so derived entries chain) whose
+  /// pin is held by nothing outside this cache.
+  void Sweep();
+
+  void Clear();
+
+  uint64_t budget_bytes() const { return budget_bytes_; }
+  void set_budget_bytes(uint64_t bytes);
+
+  uint64_t resident_bytes() const;
+  size_t size() const;
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> artifact;  // null while building
+    std::shared_ptr<const void> pin;
+    uint64_t bytes = 0;
+    uint64_t lru_tick = 0;
+    bool ready = false;
+  };
+  using Key = std::pair<const void*, std::string>;
+
+  /// Evicts LRU entries nobody currently holds until the budget is
+  /// met. Caller holds mu_.
+  void EnforceBudgetLocked();
+  /// One GC pass; returns whether anything was dropped. Caller holds
+  /// mu_.
+  bool SweepOnceLocked();
+
+  uint64_t budget_bytes_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::map<Key, std::shared_ptr<Entry>> entries_;
+  uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+/// Renders a column permutation / share-style integer vector for use
+/// in cache spec strings ("0,2,1").
+std::string SpecJoin(const std::vector<int>& xs);
+
+}  // namespace adj::storage
+
+#endif  // ADJ_STORAGE_INDEX_CACHE_H_

@@ -357,4 +357,32 @@ StatusOr<PreparedRelation> PrepareRelation(
   return out;
 }
 
+std::vector<int> AscendingRank(int num_attrs) {
+  std::vector<int> rank(static_cast<size_t>(num_attrs));
+  for (size_t a = 0; a < rank.size(); ++a) rank[a] = int(a);
+  return rank;
+}
+
+StatusOr<SharedPreparedRelation> PrepareRelationShared(
+    std::shared_ptr<const storage::Relation> base,
+    const std::vector<AttrId>& atom_attrs, const std::vector<int>& rank,
+    storage::IndexCache& cache, storage::IndexBuildStats* stats) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("null base relation in PrepareRelation");
+  }
+  if (base->arity() != static_cast<int>(atom_attrs.size())) {
+    return Status::InvalidArgument("atom arity mismatch in PrepareRelation");
+  }
+  storage::Schema bound(atom_attrs);
+  std::vector<int> perm;
+  storage::Schema sorted = bound.SortedBy(rank, &perm);
+  StatusOr<std::shared_ptr<const storage::PreparedIndex>> index =
+      cache.GetPermuted(std::move(base), sorted, perm, stats);
+  if (!index.ok()) return index.status();
+  SharedPreparedRelation out;
+  out.index = std::move(index.value());
+  out.attrs = sorted.attrs();
+  return out;
+}
+
 }  // namespace adj::wcoj

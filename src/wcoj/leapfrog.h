@@ -8,8 +8,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include <memory>
+
 #include "common/status.h"
 #include "query/attribute_order.h"
+#include "storage/index_cache.h"
 #include "storage/relation.h"
 #include "storage/trie.h"
 
@@ -109,9 +112,39 @@ struct PreparedRelation {
 /// Binds `base` (the atom's stored relation) to `atom_attrs` and
 /// prepares it for a join whose attribute ranks are `rank`
 /// (rank[attr] = position in the global order).
+///
+/// Builds a private copy every call — measurement and micro-bench
+/// paths only. Execution paths use PrepareRelationShared, which
+/// resolves the same artifact through the shared index layer.
 StatusOr<PreparedRelation> PrepareRelation(const storage::Relation& base,
                                            const std::vector<AttrId>& atom_attrs,
                                            const std::vector<int>& rank);
+
+/// A bound atom whose index is borrowed from the shared cache: the
+/// PreparedIndex (permuted sorted relation + trie) is pointer-shared
+/// with every other consumer of the same (relation, column order) —
+/// nothing is rebuilt or deep-copied.
+struct SharedPreparedRelation {
+  std::shared_ptr<const storage::PreparedIndex> index;
+  std::vector<AttrId> attrs;  // attribute of each trie level
+
+  const storage::Relation& rel() const { return *index->rel; }
+  const storage::Trie& trie() const { return *index->trie; }
+};
+
+/// Cache-backed PrepareRelation: resolves the index for
+/// (base identity, column order implied by `atom_attrs` under `rank`)
+/// through `cache`, building it only on first use. `stats`, when
+/// given, records whether this call built or reused.
+StatusOr<SharedPreparedRelation> PrepareRelationShared(
+    std::shared_ptr<const storage::Relation> base,
+    const std::vector<AttrId>& atom_attrs, const std::vector<int>& rank,
+    storage::IndexCache& cache, storage::IndexBuildStats* stats = nullptr);
+
+/// rank[attr] = attr for `num_attrs` attributes — the rank vector that
+/// binds an atom with columns in ascending attribute-id order (the
+/// normalization the hash-join paths and sub-query sampling share).
+std::vector<int> AscendingRank(int num_attrs);
 
 }  // namespace adj::wcoj
 

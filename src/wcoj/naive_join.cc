@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "wcoj/leapfrog.h"
 
 namespace adj::wcoj {
 namespace {
@@ -108,36 +109,40 @@ StatusOr<storage::Relation> NaiveJoin(const query::Query& q,
   if (q.num_atoms() == 0) {
     return Status::InvalidArgument("empty query");
   }
-  // Bind atom 0: rename base relation columns to the atom's attributes
-  // and normalize column order to ascending attribute id.
-  auto bind = [&](const query::Atom& atom) -> StatusOr<storage::Relation> {
-    StatusOr<const storage::Relation*> base = db.Get(atom.relation);
+  // Bind atom i: rename base relation columns to the atom's attributes
+  // and normalize column order to ascending attribute id — resolved
+  // through the catalog's index cache, so the oracle's binds warm (and
+  // reuse) the same artifacts the real executors use. The trie rides
+  // along even though hash joins never read it: ascending-order binds
+  // are what the sampler's sub-query passes and bag materialization
+  // request, so the build is shared, not wasted.
+  const std::vector<int> ascending_rank = AscendingRank(q.num_attrs());
+  auto bind = [&](const query::Atom& atom)
+      -> StatusOr<std::shared_ptr<const storage::PreparedIndex>> {
+    StatusOr<std::shared_ptr<const storage::Relation>> base =
+        db.GetShared(atom.relation);
     if (!base.ok()) return base.status();
     if ((*base)->arity() != atom.schema.arity()) {
       return Status::InvalidArgument("atom arity mismatch for " +
                                      atom.relation);
     }
-    std::vector<AttrId> attrs = atom.schema.attrs();
-    std::vector<int> perm(attrs.size());
-    for (size_t i = 0; i < perm.size(); ++i) perm[i] = int(i);
-    std::sort(perm.begin(), perm.end(),
-              [&](int x, int y) { return attrs[x] < attrs[y]; });
-    std::vector<AttrId> sorted_attrs(attrs.size());
-    for (size_t i = 0; i < perm.size(); ++i) sorted_attrs[i] = attrs[perm[i]];
-    storage::Relation bound =
-        (*base)->PermuteColumns(storage::Schema(sorted_attrs), perm);
-    bound.SortAndDedup();
-    return bound;
+    StatusOr<SharedPreparedRelation> prepared = PrepareRelationShared(
+        std::move(*base), atom.schema.attrs(), ascending_rank,
+        db.index_cache());
+    if (!prepared.ok()) return prepared.status();
+    return std::move(prepared->index);
   };
 
-  StatusOr<storage::Relation> acc = bind(q.atom(0));
+  StatusOr<std::shared_ptr<const storage::PreparedIndex>> acc =
+      bind(q.atom(0));
   if (!acc.ok()) return acc.status();
-  storage::Relation result = std::move(acc.value());
+  storage::Relation result = *(*acc)->rel;
   for (int i = 1; i < q.num_atoms(); ++i) {
-    StatusOr<storage::Relation> next = bind(q.atom(i));
+    StatusOr<std::shared_ptr<const storage::PreparedIndex>> next =
+        bind(q.atom(i));
     if (!next.ok()) return next.status();
     StatusOr<storage::Relation> joined =
-        HashJoin(result, next.value(), row_limit);
+        HashJoin(result, *(*next)->rel, row_limit);
     if (!joined.ok()) return joined.status();
     result = std::move(joined.value());
   }

@@ -124,8 +124,8 @@ TEST_P(HCubeCorrectnessTest, UnionOfServersEqualsSequential) {
     std::vector<wcoj::JoinInput> jinputs;
     bool any_empty = false;
     for (size_t a = 0; a < shard.tries.size(); ++a) {
-      if (shard.tries[a].empty()) any_empty = true;
-      jinputs.push_back({&shard.tries[a], shard.attrs[a]});
+      if (shard.tries[a]->empty()) any_empty = true;
+      jinputs.push_back({shard.tries[a].get(), shard.attrs[a]});
     }
     if (any_empty) continue;
     auto count = wcoj::LeapfrogJoin(jinputs, order, nullptr, nullptr);
@@ -183,8 +183,8 @@ TEST(HCubeTest, AccountingInvariants) {
   // Identical shard contents across variants.
   for (int s = 0; s < cfg.num_servers; ++s) {
     for (size_t a = 0; a < 3; ++a) {
-      EXPECT_EQ(c_push.shard(s).atoms[a].raw(), c_merge.shard(s).atoms[a].raw());
-      EXPECT_EQ(c_pull.shard(s).atoms[a].raw(), c_merge.shard(s).atoms[a].raw());
+      EXPECT_EQ(c_push.shard(s).atoms[a]->raw(), c_merge.shard(s).atoms[a]->raw());
+      EXPECT_EQ(c_pull.shard(s).atoms[a]->raw(), c_merge.shard(s).atoms[a]->raw());
     }
   }
 }

@@ -72,7 +72,7 @@ TEST(HCubeEdgeTest, EmptyRelationShufflesForFree) {
     EXPECT_EQ(cluster.MaxResidentBytes(), 0u);
     for (int s = 0; s < cfg.num_servers; ++s) {
       ASSERT_EQ(cluster.shard(s).tries.size(), 1u);
-      EXPECT_TRUE(cluster.shard(s).tries[0].empty());
+      EXPECT_TRUE(cluster.shard(s).tries[0]->empty());
     }
   }
 }
@@ -90,9 +90,9 @@ TEST(HCubeEdgeTest, AllOnesSharesPlaceEverythingOnOneServer) {
   ASSERT_TRUE(result.ok());
   // One cube -> every tuple shipped exactly once, all to server 0.
   EXPECT_EQ(result->comm.tuple_copies, r.size());
-  EXPECT_EQ(cluster.shard(0).atoms[0].raw(), r.raw());
+  EXPECT_EQ(cluster.shard(0).atoms[0]->raw(), r.raw());
   for (int s = 1; s < cfg.num_servers; ++s) {
-    EXPECT_TRUE(cluster.shard(s).atoms[0].empty());
+    EXPECT_TRUE(cluster.shard(s).atoms[0]->empty());
   }
 }
 
@@ -110,7 +110,7 @@ TEST(HCubeEdgeTest, SingleServerClusterReceivesWholeRelation) {
   auto result = HCubeShuffle(inputs, share, HCubeVariant::kPush, &cluster);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->comm.tuple_copies, r.size());
-  EXPECT_EQ(cluster.shard(0).atoms[0].raw(), r.raw());
+  EXPECT_EQ(cluster.shard(0).atoms[0]->raw(), r.raw());
 }
 
 }  // namespace

@@ -147,6 +147,59 @@ TEST(PreparedQueryCacheTest, InsertRaceFirstWinsAtSameGeneration) {
   EXPECT_EQ(cache.stats().invalidations, 1u);
 }
 
+TEST(PreparedQueryCacheTest, MemoryBudgetEvictsByBytesNotEntries) {
+  api::Database db = SmallDatabase(21);
+  api::Session session = db.OpenSession();
+  session.options().num_samples = 64;
+  StatusOr<api::PreparedQuery> p1 = session.Prepare(kPath);
+  ASSERT_TRUE(p1.ok()) << p1.status();
+  StatusOr<api::PreparedQuery> p2 = session.Prepare(kTriangle);
+  ASSERT_TRUE(p2.ok()) << p2.status();
+  const uint64_t b1 = p1->resident_bytes();
+  const uint64_t b2 = p2->resident_bytes();
+  ASSERT_GT(b1, 0u);
+  ASSERT_GT(b2, 0u);
+
+  // The entry cap would admit both; the byte budget holds only one —
+  // the second insert evicts the first from the LRU tail.
+  PreparedQueryCache cache(8, b1 + b2 - 1);
+  cache.Insert(kPath, db.generation(), std::move(p1.value()));
+  EXPECT_EQ(cache.resident_bytes(), b1);
+  cache.Insert(kTriangle, db.generation(), std::move(p2.value()));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.resident_bytes(), b2);
+  EXPECT_FALSE(cache.Lookup(kPath, db.generation()).has_value());
+  EXPECT_TRUE(cache.Lookup(kTriangle, db.generation()).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ServerTest, IndexCacheBudgetIsAppliedToTheCatalog) {
+  api::Database db = SmallDatabase(23);
+  ServerOptions options = FastOptions();
+  options.index_cache_budget_bytes = 1 << 20;
+  Server server(std::move(db), options);
+  EXPECT_EQ(server.database().catalog().index_cache().budget_bytes(),
+            uint64_t(1) << 20);
+  // Serving stays correct under the budget (artifacts in active use
+  // are never evicted; evicted idle ones are rebuilt on demand).
+  api::Result result = server.Execute(kPath);
+  EXPECT_TRUE(result.ok()) << result.status();
+}
+
+TEST(PreparedQueryCacheTest, OversizeEntryIsNeverCached) {
+  api::Database db = SmallDatabase(22);
+  api::Session session = db.OpenSession();
+  session.options().num_samples = 64;
+  StatusOr<api::PreparedQuery> prepared = session.Prepare(kPath);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+
+  PreparedQueryCache cache(8, 1);  // 1-byte budget: nothing fits
+  cache.Insert(kPath, db.generation(), std::move(prepared.value()));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+  EXPECT_EQ(cache.stats().oversize_rejects, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Server end-to-end.
 // ---------------------------------------------------------------------------
