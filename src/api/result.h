@@ -66,6 +66,15 @@ class Result {
   uint64_t index_builds() const { return run_.report.index_builds; }
   uint64_t index_reused() const { return run_.report.index_reused; }
 
+  /// Intersection-kernel accounting for this run: 2-way intersections
+  /// served by a SIMD kernel (SSE4.2/AVX2) vs the scalar galloping
+  /// baseline. scalar_fallbacks() > 0 on SIMD-capable hardware means
+  /// dispatch was forced off (or the build lacks the intrinsics).
+  uint64_t simd_intersections() const {
+    return run_.report.simd_intersections;
+  }
+  uint64_t scalar_fallbacks() const { return run_.report.scalar_fallbacks; }
+
   /// Full underlying execution report (shuffle volumes, per-level
   /// intermediate counts, plan description).
   const exec::RunReport& report() const { return run_.report; }

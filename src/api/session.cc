@@ -7,6 +7,7 @@
 #include "core/engine.h"
 #include "core/spj.h"
 #include "dist/thread_pool.h"
+#include "wcoj/intersect.h"
 
 namespace adj::api {
 
@@ -73,6 +74,11 @@ StatusOr<PreparedQuery> Session::Prepare(const std::string& query_text) const {
       " (" + std::to_string(ctx->ResidentBytes()) +
       " bytes resident; every run binds prebuilt, shard indexes build "
       "once on the first run)\n";
+  planned->explanation +=
+      std::string("intersection kernel: ") +
+      wcoj::intersect::KernelName(wcoj::intersect::ActiveKernel()) +
+      " (runtime CPU dispatch; join loops run allocation-free out of a "
+      "per-executor arena)\n";
   return PreparedQuery(
       std::move(join), filtered, std::move(planned.value()),
       std::make_shared<const core::ExecutionContext>(std::move(ctx.value())),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <set>
 
 #include "common/timer.h"
 #include "core/strategy_registry.h"
@@ -321,8 +322,21 @@ StatusOr<ExecutionContext> Engine::PrepareExecution(
   StatusOr<std::vector<exec::BoundAtom>> bound =
       exec::BindAtomsForOrder(ctx.query, ctx.db, ctx.order);
   if (!bound.ok()) return bound.status();
+  // Resident accounting dedups by physical payload: labeled binds of
+  // one permutation alias a single rows buffer + trie in the cache
+  // (e.g. the triangle query's three G bindings), so the footprint is
+  // counted once, not per labeling.
+  std::set<const void*> counted;
   for (exec::BoundAtom& b : *bound) {
-    ctx.pinned_index_bytes += b.index->Bytes();
+    if (b.index->rel != nullptr &&
+        counted.insert(b.index->rel->RowsIdentity()).second) {
+      ctx.pinned_index_bytes += b.index->rel->SizeBytes();
+    }
+    if (b.index->trie != nullptr &&
+        counted.insert(b.index->trie.get()).second) {
+      ctx.pinned_index_bytes +=
+          b.index->trie->StorageValues() * sizeof(Value);
+    }
     ctx.pinned_indexes.push_back(std::move(b.index));
   }
   return ctx;
@@ -357,6 +371,8 @@ StatusOr<exec::RunReport> Engine::RunPrepared(const ExecutionContext& ctx,
   report.overhead_s += run->report.overhead_s;
   report.tuples_at_level = run->report.tuples_at_level;
   report.extensions = run->report.extensions;
+  report.simd_intersections = run->report.simd_intersections;
+  report.scalar_fallbacks = run->report.scalar_fallbacks;
   report.index_builds = run->report.index_builds;
   report.index_reused = run->report.index_reused;
   report.rounds = 1;

@@ -1,61 +1,37 @@
 #include "exec/bigjoin.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/timer.h"
 #include "exec/hcubej.h"
 #include "storage/trie.h"
+#include "wcoj/intersect.h"
 
 namespace adj::exec {
 namespace {
 
 using storage::Trie;
 
-/// Intersects k sibling ranges (sorted value runs) by leapfrogging,
-/// appending common values to `out`.
+/// Intersects k sibling ranges (sorted value runs) through the shared
+/// kernel layer, appending common values to `out`.
 void IntersectRanges(const std::vector<const Trie*>& tries,
                      const std::vector<int>& levels,
                      const std::vector<Trie::Range>& ranges,
                      std::vector<Value>* out) {
   const int k = static_cast<int>(tries.size());
-  std::vector<uint32_t> cursor(k);
+  std::vector<std::span<const Value>> views(static_cast<size_t>(k));
+  size_t cap = std::numeric_limits<size_t>::max();
   for (int j = 0; j < k; ++j) {
     if (ranges[j].empty()) return;
-    cursor[j] = ranges[j].lo;
+    views[j] = tries[j]->RangeSpan(levels[j], ranges[j]);
+    cap = std::min(cap, views[j].size());
   }
-  if (k == 1) {
-    for (uint32_t idx = ranges[0].lo; idx < ranges[0].hi; ++idx) {
-      out->push_back(tries[0]->ValueAt(levels[0], idx));
-    }
-    return;
-  }
-  Value max_val = 0;
-  for (int j = 0; j < k; ++j) {
-    Value v = tries[j]->ValueAt(levels[j], cursor[j]);
-    if (j == 0 || v > max_val) max_val = v;
-  }
-  int j = 0;
-  int agreed = 0;
-  while (true) {
-    Value v = tries[j]->ValueAt(levels[j], cursor[j]);
-    if (v < max_val) {
-      cursor[j] = tries[j]->SeekInRange(levels[j],
-                                        {cursor[j], ranges[j].hi}, max_val);
-      if (cursor[j] >= ranges[j].hi) return;
-      v = tries[j]->ValueAt(levels[j], cursor[j]);
-    }
-    if (v > max_val) {
-      max_val = v;
-      agreed = 1;
-    } else if (++agreed == k) {
-      out->push_back(max_val);
-      ++cursor[j];
-      if (cursor[j] >= ranges[j].hi) return;
-      max_val = tries[j]->ValueAt(levels[j], cursor[j]);
-      agreed = 1;
-    }
-    j = (j + 1) % k;
-  }
+  const size_t base = out->size();
+  out->resize(base + cap);
+  const size_t n = wcoj::intersect::IntersectKValues(views.data(), k,
+                                                     out->data() + base);
+  out->resize(base + n);
 }
 
 }  // namespace

@@ -10,19 +10,22 @@ namespace adj::exec {
 namespace {
 
 /// Binds an atom with columns normalized to ascending attribute ids,
-/// borrowing the sorted relation from the shared index layer.
-StatusOr<std::shared_ptr<const storage::PreparedIndex>> BindAtom(
+/// borrowing the sorted relation from the shared index layer. Hash
+/// joins never touch a trie, so the bind resolves the trie-less
+/// artifact — sharing its row payload with trie-backed binds of the
+/// same column order without ever paying for a trie build.
+StatusOr<std::shared_ptr<const storage::Relation>> BindAtom(
     const query::Atom& atom, const storage::Catalog& db,
     const std::vector<int>& ascending_rank,
     storage::IndexBuildStats* stats) {
   StatusOr<std::shared_ptr<const storage::Relation>> base =
       db.GetShared(atom.relation);
   if (!base.ok()) return base.status();
-  StatusOr<wcoj::SharedPreparedRelation> prepared =
-      wcoj::PrepareRelationShared(std::move(*base), atom.schema.attrs(),
-                                  ascending_rank, db.index_cache(), stats);
+  StatusOr<wcoj::SharedBoundRelation> prepared =
+      wcoj::PrepareRelationRowsShared(std::move(*base), atom.schema.attrs(),
+                                      ascending_rank, db.index_cache(), stats);
   if (!prepared.ok()) return prepared.status();
-  return std::move(prepared->index);
+  return std::move(prepared->rel);
 }
 
 }  // namespace
@@ -42,13 +45,13 @@ StatusOr<RunReport> RunBinaryJoin(const query::Query& q,
       wcoj::AscendingRank(q.num_attrs());
   storage::IndexBuildStats bind_stats;
   std::vector<const storage::Relation*> rels;
-  std::vector<std::shared_ptr<const storage::PreparedIndex>> bound;
+  std::vector<std::shared_ptr<const storage::Relation>> bound;
   for (const query::Atom& atom : q.atoms()) {
-    StatusOr<std::shared_ptr<const storage::PreparedIndex>> index =
+    StatusOr<std::shared_ptr<const storage::Relation>> rel =
         BindAtom(atom, db, ascending_rank, &bind_stats);
-    if (!index.ok()) return index.status();
-    bound.push_back(std::move(index.value()));
-    rels.push_back(bound.back()->rel.get());
+    if (!rel.ok()) return rel.status();
+    bound.push_back(std::move(rel.value()));
+    rels.push_back(bound.back().get());
   }
   report.index_builds = bind_stats.builds;
   report.index_reused = bind_stats.hits;

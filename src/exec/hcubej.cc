@@ -182,6 +182,8 @@ StatusOr<HCubeJOutput> RunHCubeJ(const query::Query& q,
   out.report.output_count = total;
   out.report.tuples_at_level = all_stats.tuples_at_level;
   out.report.extensions = all_stats.extensions;
+  out.report.simd_intersections = all_stats.simd_intersections;
+  out.report.scalar_fallbacks = all_stats.scalar_fallbacks;
   return out;
 }
 

@@ -8,18 +8,21 @@ std::string RunReport::ToString() const {
   if (!status.ok()) {
     return method + ": FAILED (" + status.ToString() + ")";
   }
-  char buf[320];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "%s: out=%llu total=%.3fs (opt=%.3f pre=%.3f comm=%.3f "
                 "comp=%.3f ovh=%.3f) shuffled=%llu tuples "
-                "indexes(built=%llu reused=%llu)",
+                "indexes(built=%llu reused=%llu) "
+                "kernels(simd=%llu scalar=%llu)",
                 method.c_str(), static_cast<unsigned long long>(output_count),
                 TotalSeconds(), optimize_s, precompute_s, comm_s, comp_s,
                 overhead_s,
                 static_cast<unsigned long long>(comm.tuple_copies +
                                                 precompute_comm.tuple_copies),
                 static_cast<unsigned long long>(index_builds),
-                static_cast<unsigned long long>(index_reused));
+                static_cast<unsigned long long>(index_reused),
+                static_cast<unsigned long long>(simd_intersections),
+                static_cast<unsigned long long>(scalar_fallbacks));
   return buf;
 }
 

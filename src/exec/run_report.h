@@ -39,6 +39,11 @@ struct RunReport {
   std::vector<uint64_t> tuples_at_level;
   uint64_t extensions = 0;
 
+  /// Kernel-layer accounting: 2-way intersections served by a SIMD
+  /// kernel vs the scalar galloping baseline (see wcoj/intersect.h).
+  uint64_t simd_intersections = 0;
+  uint64_t scalar_fallbacks = 0;
+
   /// Index-layer accounting for this run: artifacts (bound-atom
   /// indexes, shard fragments+tries) this run constructed vs. borrowed
   /// from the shared storage::IndexCache. A prepared query's second

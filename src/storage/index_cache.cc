@@ -70,6 +70,47 @@ StatusOr<std::shared_ptr<const void>> IndexCache::GetOrBuild(
   return entry->artifact;
 }
 
+StatusOr<std::shared_ptr<const std::vector<Value>>> IndexCache::GetPermutedRows(
+    const std::shared_ptr<const Relation>& base, const Schema& schema,
+    const std::vector<int>& perm) {
+  const std::string spec = "rows:p=" + SpecJoin(perm);
+  StatusOr<std::shared_ptr<const void>> artifact = GetOrBuild(
+      base.get(), spec, base,
+      [&]() -> StatusOr<BuildResult> {
+        Relation rel = base->PermuteColumns(schema, perm);
+        rel.SortAndDedup();
+        auto rows = std::make_shared<const std::vector<Value>>(
+            std::move(rel.mutable_raw()));
+        return BuildResult{rows, rows->size() * sizeof(Value)};
+      },
+      /*stats=*/nullptr);
+  if (!artifact.ok()) return artifact.status();
+  return std::static_pointer_cast<const std::vector<Value>>(*artifact);
+}
+
+StatusOr<std::shared_ptr<const Trie>> IndexCache::GetPermutedTrie(
+    const std::shared_ptr<const Relation>& base, const Schema& schema,
+    const std::vector<int>& perm) {
+  const std::string spec = "trie:p=" + SpecJoin(perm);
+  StatusOr<std::shared_ptr<const void>> artifact = GetOrBuild(
+      base.get(), spec, base,
+      [&]() -> StatusOr<BuildResult> {
+        // Nested get: the build runs outside the cache lock, so
+        // re-entering for the rows layer is safe (single-flight is per
+        // key). The trie's shape does not depend on the labeling; the
+        // schema is only borrowed for arity.
+        StatusOr<std::shared_ptr<const std::vector<Value>>> rows =
+            GetPermutedRows(base, schema, perm);
+        if (!rows.ok()) return rows.status();
+        const Relation alias = Relation::AliasRows(schema, *rows);
+        auto trie = std::make_shared<const Trie>(Trie::Build(alias));
+        return BuildResult{trie, trie->StorageValues() * sizeof(Value)};
+      },
+      /*stats=*/nullptr);
+  if (!artifact.ok()) return artifact.status();
+  return std::static_pointer_cast<const Trie>(*artifact);
+}
+
 StatusOr<std::shared_ptr<const PreparedIndex>> IndexCache::GetPermuted(
     std::shared_ptr<const Relation> base, const Schema& schema,
     const std::vector<int>& perm, IndexBuildStats* stats) {
@@ -81,27 +122,59 @@ StatusOr<std::shared_ptr<const PreparedIndex>> IndexCache::GetPermuted(
     return Status::InvalidArgument("column order arity mismatch for index");
   }
   const Relation* identity = base.get();
-  // The trie's shape depends only on the column permutation, but the
-  // schema rides along (consumers — HashJoin above all — read
-  // rel->schema() for join semantics), so both key. Cost: one
-  // physical artifact per distinct attr labeling of the same perm;
-  // splitting the attr labeling from the payload to dedup those is a
-  // noted ROADMAP follow-up.
+  // The physical payload depends only on the column permutation; the
+  // attribute labeling rides along because consumers — HashJoin above
+  // all — read rel->schema() for join semantics. The labeled entry is
+  // therefore an alias: its rows vector and trie live in (and are
+  // charged to) the perm-keyed layers, shared across labelings.
   std::string spec = "bind:p=" + SpecJoin(perm) + ";a=" + schema.ToString();
   StatusOr<std::shared_ptr<const void>> artifact = GetOrBuild(
       identity, spec, base,
       [&]() -> StatusOr<BuildResult> {
+        StatusOr<std::shared_ptr<const std::vector<Value>>> rows =
+            GetPermutedRows(base, schema, perm);
+        if (!rows.ok()) return rows.status();
+        StatusOr<std::shared_ptr<const Trie>> trie =
+            GetPermutedTrie(base, schema, perm);
+        if (!trie.ok()) return trie.status();
         auto index = std::make_shared<PreparedIndex>();
-        auto rel = std::make_shared<Relation>(
-            base->PermuteColumns(schema, perm));
-        rel->SortAndDedup();
-        index->trie = std::make_shared<const Trie>(Trie::Build(*rel));
-        index->rel = std::move(rel);
-        return BuildResult{index, index->Bytes()};
+        index->rel = std::make_shared<const Relation>(
+            Relation::AliasRows(schema, std::move(*rows)));
+        index->trie = std::move(*trie);
+        // Alias entry: payload bytes are charged once, on the
+        // perm-keyed rows/trie entries.
+        return BuildResult{index, 0};
       },
       stats);
   if (!artifact.ok()) return artifact.status();
   return std::static_pointer_cast<const PreparedIndex>(*artifact);
+}
+
+StatusOr<std::shared_ptr<const Relation>> IndexCache::GetPermutedRelation(
+    std::shared_ptr<const Relation> base, const Schema& schema,
+    const std::vector<int>& perm, IndexBuildStats* stats) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("null base relation for index");
+  }
+  if (schema.arity() != static_cast<int>(perm.size()) ||
+      base->arity() != schema.arity()) {
+    return Status::InvalidArgument("column order arity mismatch for index");
+  }
+  const Relation* identity = base.get();
+  std::string spec = "rel:p=" + SpecJoin(perm) + ";a=" + schema.ToString();
+  StatusOr<std::shared_ptr<const void>> artifact = GetOrBuild(
+      identity, spec, base,
+      [&]() -> StatusOr<BuildResult> {
+        StatusOr<std::shared_ptr<const std::vector<Value>>> rows =
+            GetPermutedRows(base, schema, perm);
+        if (!rows.ok()) return rows.status();
+        auto rel = std::make_shared<const Relation>(
+            Relation::AliasRows(schema, std::move(*rows)));
+        return BuildResult{rel, 0};
+      },
+      stats);
+  if (!artifact.ok()) return artifact.status();
+  return std::static_pointer_cast<const Relation>(*artifact);
 }
 
 bool IndexCache::SweepOnceLocked() {

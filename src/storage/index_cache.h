@@ -115,7 +115,21 @@ class IndexCache {
   /// with column i of the result taken from column perm[i], under
   /// `schema`, sorted, deduplicated, and trie-indexed. Pointer-equal
   /// results for repeated requests.
+  ///
+  /// Layered internally: the physical payload (permuted sorted rows,
+  /// and the trie over them) is keyed by the permutation alone and
+  /// shared across every attribute labeling; the labeled artifact is a
+  /// near-zero-cost alias over it. Ten labelings of one permutation
+  /// cost one rows buffer and one trie, not ten.
   StatusOr<std::shared_ptr<const PreparedIndex>> GetPermuted(
+      std::shared_ptr<const Relation> base, const Schema& schema,
+      const std::vector<int>& perm, IndexBuildStats* stats = nullptr);
+
+  /// Trie-less variant for hash-join-only binds: the permuted, sorted,
+  /// deduplicated relation under `schema`, sharing its row payload with
+  /// other labelings of the same permutation *and* with GetPermuted's
+  /// trie-backed artifacts — but never paying for a trie build.
+  StatusOr<std::shared_ptr<const Relation>> GetPermutedRelation(
       std::shared_ptr<const Relation> base, const Schema& schema,
       const std::vector<int>& perm, IndexBuildStats* stats = nullptr);
 
@@ -142,6 +156,18 @@ class IndexCache {
     bool ready = false;
   };
   using Key = std::pair<const void*, std::string>;
+
+  /// Physical layers under GetPermuted/GetPermutedRelation: the
+  /// permuted sorted row payload and the trie over it, keyed by the
+  /// permutation alone (no attribute labeling). These tick cache-wide
+  /// stats but not the consumer's IndexBuildStats — the labeled
+  /// top-level artifact accounts for the consumer-visible hit/build.
+  StatusOr<std::shared_ptr<const std::vector<Value>>> GetPermutedRows(
+      const std::shared_ptr<const Relation>& base, const Schema& schema,
+      const std::vector<int>& perm);
+  StatusOr<std::shared_ptr<const Trie>> GetPermutedTrie(
+      const std::shared_ptr<const Relation>& base, const Schema& schema,
+      const std::vector<int>& perm);
 
   /// Evicts LRU entries nobody currently holds until the budget is
   /// met. Caller holds mu_.

@@ -40,18 +40,23 @@ void SortRows(std::vector<Value>& data, int arity) {
 void Relation::Append(std::span<const Value> tuple) {
   ADJ_CHECK(static_cast<int>(tuple.size()) == arity())
       << "arity mismatch: tuple " << tuple.size() << " vs schema " << arity();
+  Detach();
   data_.insert(data_.end(), tuple.begin(), tuple.end());
 }
 
-void Relation::SortAndDedup() { SortRows(data_, arity()); }
+void Relation::SortAndDedup() {
+  Detach();
+  SortRows(data_, arity());
+}
 
 bool Relation::IsSortedUnique() const {
   const int k = arity();
   if (k == 0) return true;
-  const uint64_t rows = size();
-  for (uint64_t i = 1; i < rows; ++i) {
-    const Value* a = data_.data() + (i - 1) * k;
-    const Value* b = data_.data() + i * k;
+  const uint64_t n = size();
+  const Value* base = rows().data();
+  for (uint64_t i = 1; i < n; ++i) {
+    const Value* a = base + (i - 1) * k;
+    const Value* b = base + i * k;
     if (!std::lexicographical_compare(a, a + k, b, b + k)) return false;
   }
   return true;
@@ -66,7 +71,7 @@ Relation Relation::PermuteColumns(const Schema& new_schema,
   const int k = arity();
   std::vector<Value> tmp(k);
   for (uint64_t r = 0; r < size(); ++r) {
-    const Value* row = data_.data() + r * k;
+    const Value* row = rows().data() + r * k;
     for (int i = 0; i < k; ++i) tmp[i] = row[perm[i]];
     out.Append(tmp);
   }
@@ -77,7 +82,7 @@ std::vector<Value> Relation::DistinctColumn(int col) const {
   std::vector<Value> vals;
   vals.reserve(size());
   const int k = arity();
-  for (uint64_t r = 0; r < size(); ++r) vals.push_back(data_[r * k + col]);
+  for (uint64_t r = 0; r < size(); ++r) vals.push_back(rows()[r * k + col]);
   std::sort(vals.begin(), vals.end());
   vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
   return vals;
@@ -88,7 +93,7 @@ Relation Relation::SemiJoinFilter(int col,
   Relation out(schema_);
   const int k = arity();
   for (uint64_t r = 0; r < size(); ++r) {
-    Value v = data_[r * k + col];
+    Value v = rows()[r * k + col];
     if (std::binary_search(keep.begin(), keep.end(), v)) {
       out.Append(Row(r));
     }

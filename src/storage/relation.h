@@ -2,6 +2,7 @@
 #define ADJ_STORAGE_RELATION_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -16,29 +17,49 @@ namespace adj::storage {
 /// Invariants are *not* enforced on append; call SortAndDedup() to put
 /// the relation into the canonical (lexicographically sorted, unique)
 /// state the trie builder requires.
+///
+/// A relation can also *alias* a shared row payload (AliasRows): reads
+/// go through the shared vector and cost no copy, which is how the
+/// index cache hands the same physical permutation to many attribute
+/// labelings. Mutation detaches (copy-on-write), so aliasing stays an
+/// implementation detail to callers.
 class Relation {
  public:
   Relation() = default;
   explicit Relation(Schema schema) : schema_(std::move(schema)) {}
 
+  /// A relation whose rows alias `rows` (no copy). Callers must not
+  /// mutate `*rows` afterwards; Relation mutators copy-on-write.
+  static Relation AliasRows(Schema schema,
+                            std::shared_ptr<const std::vector<Value>> rows) {
+    Relation r(std::move(schema));
+    r.shared_ = std::move(rows);
+    return r;
+  }
+
   const Schema& schema() const { return schema_; }
   int arity() const { return schema_.arity(); }
   uint64_t size() const {
-    return arity() == 0 ? (data_.empty() ? 0 : 1)
-                        : data_.size() / static_cast<uint64_t>(arity());
+    return arity() == 0 ? (rows().empty() ? 0 : 1)
+                        : rows().size() / static_cast<uint64_t>(arity());
   }
-  bool empty() const { return data_.empty(); }
+  bool empty() const { return rows().empty(); }
 
   /// Bytes of tuple payload (what shuffling transmits).
-  uint64_t SizeBytes() const { return data_.size() * sizeof(Value); }
+  uint64_t SizeBytes() const { return rows().size() * sizeof(Value); }
 
   /// Row accessor: the i-th tuple as a span of `arity` values.
   std::span<const Value> Row(uint64_t i) const {
-    return {data_.data() + i * arity(), static_cast<size_t>(arity())};
+    return {rows().data() + i * arity(), static_cast<size_t>(arity())};
   }
-  Value At(uint64_t row, int col) const { return data_[row * arity() + col]; }
+  Value At(uint64_t row, int col) const {
+    return rows()[row * arity() + col];
+  }
 
-  void Reserve(uint64_t rows) { data_.reserve(rows * arity()); }
+  void Reserve(uint64_t rows) {
+    Detach();
+    data_.reserve(rows * arity());
+  }
   void Append(std::span<const Value> tuple);
   void Append(std::initializer_list<Value> tuple) {
     Append(std::span<const Value>(tuple.begin(), tuple.size()));
@@ -61,14 +82,38 @@ class Relation {
   /// distributed sampler's database-reduction step.
   Relation SemiJoinFilter(int col, const std::vector<Value>& keep) const;
 
-  const std::vector<Value>& raw() const { return data_; }
-  std::vector<Value>& mutable_raw() { return data_; }
+  const std::vector<Value>& raw() const { return rows(); }
+  std::vector<Value>& mutable_raw() {
+    Detach();
+    return data_;
+  }
+
+  /// Identity of the row payload for dedup accounting: aliasing
+  /// relations built over the same shared vector report the same
+  /// pointer. Owned storage reports its own buffer.
+  const void* RowsIdentity() const {
+    return shared_ ? static_cast<const void*>(shared_.get())
+                   : static_cast<const void*>(&data_);
+  }
 
   std::string ToString(uint64_t max_rows = 16) const;
 
  private:
+  const std::vector<Value>& rows() const {
+    return shared_ ? *shared_ : data_;
+  }
+  /// Copy-on-write: materialize the shared payload into owned storage
+  /// before any mutation.
+  void Detach() {
+    if (shared_) {
+      data_ = *shared_;
+      shared_.reset();
+    }
+  }
+
   Schema schema_;
   std::vector<Value> data_;
+  std::shared_ptr<const std::vector<Value>> shared_;
 };
 
 }  // namespace adj::storage

@@ -42,6 +42,18 @@ Trie Trie::Build(const Relation& rel) {
     trie.levels_[l].child_begin.push_back(
         static_cast<uint32_t>(trie.levels_[l + 1].values.size()));
   }
+  // Widest sibling range per level, so executors can size intersection
+  // buffers at Run() without rescanning the index.
+  trie.levels_[0].max_range_width =
+      static_cast<uint32_t>(trie.levels_[0].values.size());
+  for (int l = 0; l + 1 < k; ++l) {
+    const std::vector<uint32_t>& begin = trie.levels_[l].child_begin;
+    uint32_t widest = 0;
+    for (size_t i = 0; i + 1 < begin.size(); ++i) {
+      widest = std::max(widest, begin[i + 1] - begin[i]);
+    }
+    trie.levels_[l + 1].max_range_width = widest;
+  }
   return trie;
 }
 

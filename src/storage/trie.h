@@ -53,6 +53,26 @@ class Trie {
     return levels_[level].values;
   }
 
+  /// Flat view over one whole level — the array the intersection
+  /// kernels index into.
+  std::span<const Value> LevelSpan(int level) const {
+    return levels_[level].values;
+  }
+
+  /// A sibling range as a flat span (kernel input). Positions a kernel
+  /// emits are relative to the span, i.e. to r.lo.
+  std::span<const Value> RangeSpan(int level, Range r) const {
+    return std::span<const Value>(levels_[level].values).subspan(r.lo,
+                                                                 r.size());
+  }
+
+  /// Largest sibling-range width at `level` (level 0: the root range
+  /// size). Computed once at Build; lets a join executor size its
+  /// per-level intersection buffers without rescanning the index.
+  uint32_t MaxRangeWidth(int level) const {
+    return levels_[level].max_range_width;
+  }
+
   /// Sibling range of the root level.
   Range RootRange() const {
     return {0, static_cast<uint32_t>(levels_.empty()
@@ -86,6 +106,8 @@ class Trie {
     std::vector<Value> values;
     // Size values.size()+1; absent (empty) for the deepest level.
     std::vector<uint32_t> child_begin;
+    // Widest sibling range within this level (level 0: values.size()).
+    uint32_t max_range_width = 0;
   };
   std::vector<Level> levels_;
 };

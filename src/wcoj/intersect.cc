@@ -1,0 +1,367 @@
+#include "wcoj/intersect.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define ADJ_INTERSECT_X86 1
+#include <immintrin.h>
+#endif
+
+namespace adj::wcoj::intersect {
+
+namespace {
+
+std::atomic<Kernel> g_forced{Kernel::kAuto};
+
+Kernel DetectBest() {
+#if defined(ADJ_INTERSECT_X86) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx2")) return Kernel::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return Kernel::kSse42;
+#endif
+  return Kernel::kScalar;
+}
+
+}  // namespace
+
+bool CpuSupports(Kernel k) {
+  switch (k) {
+    case Kernel::kAuto:
+    case Kernel::kScalar:
+      return true;
+    case Kernel::kSse42:
+#if defined(ADJ_INTERSECT_X86) && defined(__GNUC__)
+      return __builtin_cpu_supports("sse4.2");
+#else
+      return false;
+#endif
+    case Kernel::kAvx2:
+#if defined(ADJ_INTERSECT_X86) && defined(__GNUC__)
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+void SetKernel(Kernel k) { g_forced.store(k, std::memory_order_relaxed); }
+
+Kernel ActiveKernel() {
+  static const Kernel detected = DetectBest();
+  const Kernel forced = g_forced.load(std::memory_order_relaxed);
+  if (forced == Kernel::kAuto) return detected;
+  return CpuSupports(forced) ? forced : Kernel::kScalar;
+}
+
+const char* KernelName(Kernel k) {
+  switch (k) {
+    case Kernel::kAuto:
+      return "auto";
+    case Kernel::kScalar:
+      return "scalar";
+    case Kernel::kSse42:
+      return "sse4.2";
+    case Kernel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+size_t SeekGEQ(std::span<const Value> s, Value v, size_t hint,
+               KernelStats* stats) {
+  if (stats != nullptr) ++stats->seeks;
+  const size_t n = s.size();
+  size_t lo = hint;
+  if (lo >= n || s[lo] >= v) return lo;
+  // Galloping phase: double the step from lo until we overshoot.
+  size_t step = 1;
+  size_t prev = lo;
+  size_t cur = lo + 1;
+  while (cur < n && s[cur] < v) {
+    prev = cur;
+    step <<= 1;
+    cur = (step > n - lo) ? n : lo + step;
+  }
+  // Binary search in (prev, cur].
+  size_t a = prev + 1, b = std::min(cur + 1, n);
+  while (a < b) {
+    const size_t mid = a + (b - a) / 2;
+    if (s[mid] < v) {
+      a = mid + 1;
+    } else {
+      b = mid;
+    }
+  }
+  return a;
+}
+
+namespace {
+
+/// Shared scalar merge for the kernels' tail handling and the scalar
+/// baseline itself: galloping on whichever side lags.
+inline size_t ScalarTail(std::span<const Value> a, std::span<const Value> b,
+                         size_t i, size_t j, size_t n, Value* out_vals,
+                         uint32_t* out_pa, size_t stride_a, uint32_t* out_pb,
+                         size_t stride_b, KernelStats* stats) {
+  const size_t na = a.size(), nb = b.size();
+  while (i < na && j < nb) {
+    const Value x = a[i];
+    const Value y = b[j];
+    if (x == y) {
+      out_vals[n] = x;
+      if (out_pa != nullptr) out_pa[n * stride_a] = static_cast<uint32_t>(i);
+      if (out_pb != nullptr) out_pb[n * stride_b] = static_cast<uint32_t>(j);
+      ++n;
+      ++i;
+      ++j;
+    } else if (x < y) {
+      i = SeekGEQ(a, y, i + 1, stats);
+    } else {
+      j = SeekGEQ(b, x, j + 1, stats);
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+size_t Intersect2Scalar(std::span<const Value> a, std::span<const Value> b,
+                        Value* out_vals, uint32_t* out_pa, size_t stride_a,
+                        uint32_t* out_pb, size_t stride_b,
+                        KernelStats* stats) {
+  return ScalarTail(a, b, 0, 0, 0, out_vals, out_pa, stride_a, out_pb,
+                    stride_b, stats);
+}
+
+#if defined(ADJ_INTERSECT_X86) && defined(__GNUC__)
+
+// Block-compare kernels: hold one probe value x = a[i], compare it
+// against a vector's worth of b in one shot. Per iteration this either
+// emits a match, retires x, or skips a whole block of b — and when an
+// entire block sits below x, it falls back to galloping, so the kernel
+// never loses to the scalar baseline on skewed inputs.
+
+__attribute__((target("avx2"))) size_t Intersect2Avx2(
+    std::span<const Value> a, std::span<const Value> b, Value* out_vals,
+    uint32_t* out_pa, size_t stride_a, uint32_t* out_pb, size_t stride_b,
+    KernelStats* stats) {
+  const size_t na = a.size(), nb = b.size();
+  size_t i = 0, j = 0, n = 0;
+  while (i < na && j + 8 <= nb) {
+    const Value x = a[i];
+    const __m256i vx = _mm256_set1_epi32(static_cast<int>(x));
+    const __m256i vb = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b.data() + j));
+    const __m256i eq = _mm256_cmpeq_epi32(vx, vb);
+    const unsigned eqm = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+    if (eqm != 0) {
+      // Strictly increasing b: at most one lane matches.
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(eqm));
+      out_vals[n] = x;
+      if (out_pa != nullptr) out_pa[n * stride_a] = static_cast<uint32_t>(i);
+      if (out_pb != nullptr) {
+        out_pb[n * stride_b] = static_cast<uint32_t>(j + lane);
+      }
+      ++n;
+      ++i;
+      j += lane + 1;
+      continue;
+    }
+    // Lanes with b < x (unsigned compare via max): no eq lane, so
+    // max(b, x) == x exactly where b < x. The mask is a contiguous
+    // low-bit run because b ascends.
+    const __m256i le = _mm256_cmpeq_epi32(_mm256_max_epu32(vb, vx), vx);
+    const unsigned ltm = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(le)));
+    if (ltm == 0xFFu) {
+      j = SeekGEQ(b, x, j + 8, stats);  // whole block below x: gallop
+    } else if (ltm == 0) {
+      i = SeekGEQ(a, b[j], i + 1, stats);  // whole block above x
+    } else {
+      // x falls inside this block and is absent.
+      j += static_cast<unsigned>(__builtin_popcount(ltm));
+      ++i;
+    }
+  }
+  return ScalarTail(a, b, i, j, n, out_vals, out_pa, stride_a, out_pb,
+                    stride_b, stats);
+}
+
+__attribute__((target("sse4.2"))) size_t Intersect2Sse42(
+    std::span<const Value> a, std::span<const Value> b, Value* out_vals,
+    uint32_t* out_pa, size_t stride_a, uint32_t* out_pb, size_t stride_b,
+    KernelStats* stats) {
+  const size_t na = a.size(), nb = b.size();
+  size_t i = 0, j = 0, n = 0;
+  while (i < na && j + 4 <= nb) {
+    const Value x = a[i];
+    const __m128i vx = _mm_set1_epi32(static_cast<int>(x));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b.data() + j));
+    const __m128i eq = _mm_cmpeq_epi32(vx, vb);
+    const unsigned eqm =
+        static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(eq)));
+    if (eqm != 0) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(eqm));
+      out_vals[n] = x;
+      if (out_pa != nullptr) out_pa[n * stride_a] = static_cast<uint32_t>(i);
+      if (out_pb != nullptr) {
+        out_pb[n * stride_b] = static_cast<uint32_t>(j + lane);
+      }
+      ++n;
+      ++i;
+      j += lane + 1;
+      continue;
+    }
+    const __m128i le = _mm_cmpeq_epi32(_mm_max_epu32(vb, vx), vx);
+    const unsigned ltm =
+        static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(le)));
+    if (ltm == 0xFu) {
+      j = SeekGEQ(b, x, j + 4, stats);
+    } else if (ltm == 0) {
+      i = SeekGEQ(a, b[j], i + 1, stats);
+    } else {
+      j += static_cast<unsigned>(__builtin_popcount(ltm));
+      ++i;
+    }
+  }
+  return ScalarTail(a, b, i, j, n, out_vals, out_pa, stride_a, out_pb,
+                    stride_b, stats);
+}
+
+#else  // !x86: the SIMD entry points exist but must not be called.
+
+size_t Intersect2Sse42(std::span<const Value> a, std::span<const Value> b,
+                       Value* out_vals, uint32_t* out_pa, size_t stride_a,
+                       uint32_t* out_pb, size_t stride_b,
+                       KernelStats* stats) {
+  return Intersect2Scalar(a, b, out_vals, out_pa, stride_a, out_pb, stride_b,
+                          stats);
+}
+
+size_t Intersect2Avx2(std::span<const Value> a, std::span<const Value> b,
+                      Value* out_vals, uint32_t* out_pa, size_t stride_a,
+                      uint32_t* out_pb, size_t stride_b, KernelStats* stats) {
+  return Intersect2Scalar(a, b, out_vals, out_pa, stride_a, out_pb, stride_b,
+                          stats);
+}
+
+#endif  // ADJ_INTERSECT_X86
+
+size_t Intersect2(std::span<const Value> a, std::span<const Value> b,
+                  Value* out_vals, uint32_t* out_pa, size_t stride_a,
+                  uint32_t* out_pb, size_t stride_b, KernelStats* stats) {
+  // The block kernels scan the longer side vector-wide and retire the
+  // shorter side one probe at a time: make `a` the shorter side.
+  if (a.size() > b.size()) {
+    std::swap(a, b);
+    std::swap(out_pa, out_pb);
+    std::swap(stride_a, stride_b);
+  }
+  switch (ActiveKernel()) {
+    case Kernel::kAvx2:
+      if (stats != nullptr) ++stats->simd_intersections;
+      return Intersect2Avx2(a, b, out_vals, out_pa, stride_a, out_pb,
+                            stride_b, stats);
+    case Kernel::kSse42:
+      if (stats != nullptr) ++stats->simd_intersections;
+      return Intersect2Sse42(a, b, out_vals, out_pa, stride_a, out_pb,
+                             stride_b, stats);
+    default:
+      if (stats != nullptr) ++stats->scalar_fallbacks;
+      return Intersect2Scalar(a, b, out_vals, out_pa, stride_a, out_pb,
+                              stride_b, stats);
+  }
+}
+
+namespace {
+
+/// Fills ord[0..k) with span indexes sorted by ascending size
+/// (insertion sort: k is the number of atoms covering one attribute —
+/// single digits in practice).
+inline void OrderBySize(const std::span<const Value>* views, int k,
+                        uint32_t* ord) {
+  for (int c = 0; c < k; ++c) ord[c] = static_cast<uint32_t>(c);
+  for (int c = 1; c < k; ++c) {
+    const uint32_t v = ord[c];
+    int p = c - 1;
+    while (p >= 0 && views[ord[p]].size() > views[v].size()) {
+      ord[p + 1] = ord[p];
+      --p;
+    }
+    ord[p + 1] = v;
+  }
+}
+
+}  // namespace
+
+size_t IntersectK(const std::span<const Value>* views, int k, Value* out_vals,
+                  uint32_t* out_pos, const KScratch& scratch,
+                  KernelStats* stats) {
+  if (k <= 0) return 0;
+  if (k == 1) {
+    const std::span<const Value> v = views[0];
+    std::copy(v.begin(), v.end(), out_vals);
+    for (size_t t = 0; t < v.size(); ++t) {
+      out_pos[t] = static_cast<uint32_t>(t);
+    }
+    return v.size();
+  }
+  // Smallest spans first: every intermediate then fits in the overall
+  // minimum span size, which is what the caller's buffers hold.
+  uint32_t* ord = scratch.ord;
+  OrderBySize(views, k, ord);
+  const size_t kk = static_cast<size_t>(k);
+  size_t n = Intersect2(views[ord[0]], views[ord[1]], out_vals,
+                        out_pos + ord[0], kk, out_pos + ord[1], kk, stats);
+  for (int c = 2; c < k && n > 0; ++c) {
+    const uint32_t vi = ord[c];
+    const size_t m =
+        Intersect2(std::span<const Value>(out_vals, n), views[vi], out_vals,
+                   scratch.pa, 1, scratch.pb, 1, stats);
+    // Compact surviving position rows in place (pa ascends and
+    // pa[t] >= t, so reads never trail writes), then scatter the new
+    // span's positions into its original column.
+    for (size_t t = 0; t < m; ++t) {
+      const uint32_t src = scratch.pa[t];
+      if (src != t) {
+        for (int cc = 0; cc < c; ++cc) {
+          out_pos[t * kk + ord[cc]] = out_pos[src * kk + ord[cc]];
+        }
+      }
+      out_pos[t * kk + vi] = scratch.pb[t];
+    }
+    n = m;
+  }
+  return n;
+}
+
+size_t IntersectKValues(const std::span<const Value>* views, int k,
+                        Value* out_vals, KernelStats* stats) {
+  if (k <= 0) return 0;
+  if (k == 1) {
+    std::copy(views[0].begin(), views[0].end(), out_vals);
+    return views[0].size();
+  }
+  constexpr int kStackOrd = 32;
+  uint32_t ord_stack[kStackOrd];
+  std::vector<uint32_t> ord_heap;
+  uint32_t* ord = ord_stack;
+  if (k > kStackOrd) {
+    ord_heap.resize(static_cast<size_t>(k));
+    ord = ord_heap.data();
+  }
+  OrderBySize(views, k, ord);
+  size_t n = Intersect2(views[ord[0]], views[ord[1]], out_vals, nullptr, 1,
+                        nullptr, 1, stats);
+  for (int c = 2; c < k && n > 0; ++c) {
+    n = Intersect2(std::span<const Value>(out_vals, n), views[ord[c]],
+                   out_vals, nullptr, 1, nullptr, 1, stats);
+  }
+  return n;
+}
+
+}  // namespace adj::wcoj::intersect

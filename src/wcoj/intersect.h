@@ -1,0 +1,117 @@
+#ifndef ADJ_WCOJ_INTERSECT_H_
+#define ADJ_WCOJ_INTERSECT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+
+/// Sorted-set intersection kernels — the innermost loop of Leapfrog
+/// TrieJoin, factored out of the executor so one implementation serves
+/// Descend, the intersection cache, and BigJoin's expansion step.
+///
+/// All kernels operate on flat `std::span<const Value>` views over
+/// trie levels (storage::Trie::RangeSpan) and write into
+/// caller-provided buffers: they never allocate, so the join executor
+/// can run them out of a preallocated arena with zero heap traffic in
+/// steady state.
+///
+/// Input contract: every span is strictly increasing (a trie sibling
+/// range is a sorted duplicate-free value run). Positions emitted are
+/// relative to the span start; callers add the range's `lo` to get
+/// absolute trie indexes.
+///
+/// The 2-way kernel has three implementations — a scalar
+/// galloping-merge baseline and SSE4.2 / AVX2 block-compare variants —
+/// selected once per process by runtime CPU detection (overridable for
+/// tests and benchmarks via SetKernel). Non-x86 builds compile the
+/// scalar path only and dispatch resolves to it.
+namespace adj::wcoj::intersect {
+
+/// Which 2-way implementation executes. kAuto resolves to the widest
+/// kernel the CPU supports at first use.
+enum class Kernel { kAuto, kScalar, kSse42, kAvx2 };
+
+/// Forces a specific kernel (kAuto restores detection). Forcing a
+/// kernel the CPU lacks falls back to scalar. Affects the whole
+/// process; meant for tests ("SIMD and scalar agree bit-for-bit") and
+/// the micro-bench, not concurrent reconfiguration under load.
+void SetKernel(Kernel k);
+
+/// The kernel 2-way intersections currently dispatch to (never kAuto).
+Kernel ActiveKernel();
+
+/// Stable lowercase name ("scalar", "sse4.2", "avx2") for reports.
+const char* KernelName(Kernel k);
+
+/// Whether this build + CPU can execute `k`.
+bool CpuSupports(Kernel k);
+
+/// Counters a consumer accumulates locally and flushes once per run —
+/// the executor keeps these off the hot path (no per-seek branches on
+/// an optional stats sink).
+struct KernelStats {
+  uint64_t seeks = 0;               // galloping SeekGEQ invocations
+  uint64_t simd_intersections = 0;  // 2-way calls served by SSE/AVX
+  uint64_t scalar_fallbacks = 0;    // 2-way calls served scalar
+};
+
+/// First index in [hint, s.size()) with s[i] >= v, or s.size() if
+/// none. Galloping (exponential) search from `hint` — O(log distance).
+/// The Leapfrog "seek" primitive.
+size_t SeekGEQ(std::span<const Value> s, Value v, size_t hint = 0,
+               KernelStats* stats = nullptr);
+
+/// 2-way intersection: writes each common value to out_vals and, when
+/// out_pa / out_pb are non-null, its position within a / b at the
+/// given element strides (strided so k-way callers can scatter
+/// straight into row-major position matrices). Buffers need capacity
+/// min(a.size(), b.size()). out_vals may alias a.data() or b.data()
+/// (in-place compaction is safe: writes trail reads). Returns the
+/// number of common values. Dispatches per ActiveKernel().
+size_t Intersect2(std::span<const Value> a, std::span<const Value> b,
+                  Value* out_vals, uint32_t* out_pa = nullptr,
+                  size_t stride_a = 1, uint32_t* out_pb = nullptr,
+                  size_t stride_b = 1, KernelStats* stats = nullptr);
+
+/// Fixed-implementation variants, for the agreement tests and the
+/// SIMD-vs-scalar micro-bench gate. The SIMD variants must only be
+/// called when CpuSupports the matching kernel.
+size_t Intersect2Scalar(std::span<const Value> a, std::span<const Value> b,
+                        Value* out_vals, uint32_t* out_pa, size_t stride_a,
+                        uint32_t* out_pb, size_t stride_b,
+                        KernelStats* stats);
+size_t Intersect2Sse42(std::span<const Value> a, std::span<const Value> b,
+                       Value* out_vals, uint32_t* out_pa, size_t stride_a,
+                       uint32_t* out_pb, size_t stride_b, KernelStats* stats);
+size_t Intersect2Avx2(std::span<const Value> a, std::span<const Value> b,
+                      Value* out_vals, uint32_t* out_pa, size_t stride_a,
+                      uint32_t* out_pb, size_t stride_b, KernelStats* stats);
+
+/// Caller-provided scratch for IntersectK — carved from the join
+/// executor's arena. pa/pb need capacity m = min span size; ord needs
+/// capacity k.
+struct KScratch {
+  uint32_t* pa = nullptr;
+  uint32_t* pb = nullptr;
+  uint32_t* ord = nullptr;
+};
+
+/// k-way intersection by pairwise reduction, smallest spans first (so
+/// every intermediate fits in m = the overall minimum span size).
+/// Writes common values to out_vals (capacity m) and, per value, the k
+/// positions — one per input span, in the *given* span order — row-
+/// major into out_pos (capacity m * k). Returns the common count.
+size_t IntersectK(const std::span<const Value>* views, int k,
+                  Value* out_vals, uint32_t* out_pos,
+                  const KScratch& scratch, KernelStats* stats = nullptr);
+
+/// Values-only k-way reduction (BigJoin's expansion step needs no
+/// positions). out_vals capacity: the minimum span size.
+size_t IntersectKValues(const std::span<const Value>* views, int k,
+                        Value* out_vals, KernelStats* stats = nullptr);
+
+}  // namespace adj::wcoj::intersect
+
+#endif  // ADJ_WCOJ_INTERSECT_H_

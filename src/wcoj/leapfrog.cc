@@ -5,6 +5,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "wcoj/intersect.h"
 
 namespace adj::wcoj {
 
@@ -20,6 +21,8 @@ void JoinStats::Merge(const JoinStats& other) {
   seconds += other.seconds;
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
+  simd_intersections += other.simd_intersections;
+  scalar_fallbacks += other.scalar_fallbacks;
 }
 
 const IntersectionCache::Entry* IntersectionCache::Lookup(uint64_t key) const {
@@ -27,11 +30,13 @@ const IntersectionCache::Entry* IntersectionCache::Lookup(uint64_t key) const {
   return it == map_.end() ? nullptr : &it->second;
 }
 
-void IntersectionCache::Insert(uint64_t key, Entry entry) {
+const IntersectionCache::Entry* IntersectionCache::Insert(uint64_t key,
+                                                          Entry&& entry) {
   const uint64_t cost = entry.vals.size() + entry.idxs.size();
-  if (stored_values_ + cost > capacity_) return;  // cache full: skip
-  stored_values_ += cost;
-  map_.emplace(key, std::move(entry));
+  if (stored_values_ + cost > capacity_) return nullptr;  // cache full: skip
+  auto [it, inserted] = map_.emplace(key, std::move(entry));
+  if (inserted) stored_values_ += cost;
+  return &it->second;
 }
 
 void IntersectionCache::Clear() {
@@ -100,14 +105,82 @@ class Executor {
       indexes_[r].assign(inputs_[r].attrs.size(), 0);
     }
     binding_.assign(n, 0);
+    tuples_local_.assign(n, 0);
+    BuildArena(n);
     timer_.Restart();
     Status st = Descend(0);
-    if (stats_ != nullptr) stats_->seconds += timer_.Seconds();
+    FlushStats();
     if (!st.ok()) return st;
     return count_;
   }
 
  private:
+  /// Preallocated per-order-position kernel workspace, carved out of
+  /// the executor's flat arena at Run(): span/range views over the
+  /// current sibling ranges, the intersection output (values + a
+  /// row-major position matrix) and the k-way reduction scratch.
+  /// Buffers for distinct positions are disjoint, so the recursion
+  /// (iterate level i's result while descending into i+1) never
+  /// clobbers live data — and steady-state Descend touches no heap.
+  struct Slot {
+    std::span<const Value>* spans = nullptr;
+    Trie::Range* ranges = nullptr;
+    Value* vals = nullptr;
+    uint32_t* pos = nullptr;
+    intersect::KScratch scratch;
+    uint32_t cap = 0;  // min MaxRangeWidth over participants
+  };
+
+  /// Sizes the arena from the tries' per-level maximum sibling-range
+  /// widths (recorded at Trie::Build — no index rescan here). The
+  /// intersection at a position never exceeds its narrowest
+  /// participant range, so cap = min over participants bounds every
+  /// output. Value/position buffers are only carved where the
+  /// streaming path materializes (k >= 2, uncached); cached mode owns
+  /// its memory in cache entries and borrows only the scratch.
+  void BuildArena(int n) {
+    slots_.assign(n, Slot{});
+    std::vector<size_t> parts_off(n), vals_off(n), pos_off(n), pa_off(n),
+        pb_off(n), ord_off(n);
+    size_t total_parts = 0, total_vals = 0, total_u32 = 0;
+    for (int i = 0; i < n; ++i) {
+      const std::vector<Participant>& parts = participants_[i];
+      const size_t k = parts.size();
+      uint32_t cap = std::numeric_limits<uint32_t>::max();
+      for (const Participant& p : parts) {
+        cap = std::min(cap, inputs_[p.input].trie->MaxRangeWidth(p.level));
+      }
+      slots_[i].cap = cap;
+      parts_off[i] = total_parts;
+      total_parts += k;
+      const bool need_vals = cache_ == nullptr && k >= 2;
+      vals_off[i] = total_vals;
+      if (need_vals) total_vals += cap;
+      pos_off[i] = total_u32;
+      if (need_vals) total_u32 += size_t(cap) * k;
+      pa_off[i] = total_u32;
+      if (k >= 3) total_u32 += cap;
+      pb_off[i] = total_u32;
+      if (k >= 3) total_u32 += cap;
+      ord_off[i] = total_u32;
+      if (k >= 2) total_u32 += k;
+    }
+    span_storage_.assign(total_parts, {});
+    range_storage_.assign(total_parts, {});
+    vals_storage_.assign(total_vals, 0);
+    u32_storage_.assign(total_u32, 0);
+    for (int i = 0; i < n; ++i) {
+      Slot& s = slots_[i];
+      s.spans = span_storage_.data() + parts_off[i];
+      s.ranges = range_storage_.data() + parts_off[i];
+      s.vals = vals_storage_.data() + vals_off[i];
+      s.pos = u32_storage_.data() + pos_off[i];
+      s.scratch.pa = u32_storage_.data() + pa_off[i];
+      s.scratch.pb = u32_storage_.data() + pb_off[i];
+      s.scratch.ord = u32_storage_.data() + ord_off[i];
+    }
+  }
+
   /// Sibling range of participant p at order position i, derived from
   /// its parent level's current index.
   Trie::Range RangeOf(const Participant& p) const {
@@ -126,107 +199,107 @@ class Executor {
     return Status::OK();
   }
 
-  /// Classic Leapfrog intersection over the participant ranges at
-  /// position i, invoking Step for every common value.
+  /// Leapfrog extension at order position i: intersect the participant
+  /// ranges through the kernel layer, then recurse per common value.
   Status Descend(int i) {
     const std::vector<Participant>& parts = participants_[i];
     const int k = static_cast<int>(parts.size());
+    Slot& slot = slots_[i];
 
-    // Materialize ranges; bail out on any empty one.
-    std::vector<Trie::Range> ranges(k);
+    // Materialize range + span views; bail out on any empty range.
     for (int j = 0; j < k; ++j) {
-      ranges[j] = RangeOf(parts[j]);
-      if (ranges[j].empty()) return Status::OK();
+      const Participant& p = parts[j];
+      const Trie& trie = *inputs_[p.input].trie;
+      const Trie::Range r = RangeOf(p);
+      if (r.empty()) return Status::OK();
+      slot.ranges[j] = r;
+      slot.spans[j] = trie.RangeSpan(p.level, r);
     }
 
-    if (cache_ != nullptr) return DescendCached(i, parts, ranges);
+    if (cache_ != nullptr) return DescendCached(i, parts, slot, k);
 
     if (i == 0 && first_value_.has_value()) {
       // Sampler mode: pin order[0] to *first_value_.
       const Value v = *first_value_;
       for (int j = 0; j < k; ++j) {
-        const Trie& trie = *inputs_[parts[j].input].trie;
-        uint32_t idx = trie.FindInRange(parts[j].level, ranges[j], v);
-        if (stats_ != nullptr) ++stats_->seeks;
-        if (idx == ranges[j].hi) return Status::OK();
-        indexes_[parts[j].input][parts[j].level] = idx;
+        const Participant& p = parts[j];
+        const Trie& trie = *inputs_[p.input].trie;
+        uint32_t idx = trie.FindInRange(p.level, slot.ranges[j], v);
+        ++kernel_stats_.seeks;
+        if (idx == slot.ranges[j].hi) return Status::OK();
+        indexes_[p.input][p.level] = idx;
       }
       return Emit(i, v);
     }
 
     if (k == 1) {
-      // Single participant: every sibling value extends the binding.
-      const Participant& part = parts[0];
-      const Trie& trie = *inputs_[part.input].trie;
-      for (uint32_t idx = ranges[0].lo; idx < ranges[0].hi; ++idx) {
-        indexes_[part.input][part.level] = idx;
-        ADJ_RETURN_IF_ERROR(Emit(i, trie.ValueAt(part.level, idx)));
+      // Single participant: every sibling value extends the binding —
+      // stream straight off the trie, no materialization.
+      const Participant& p = parts[0];
+      const Trie& trie = *inputs_[p.input].trie;
+      const Trie::Range r = slot.ranges[0];
+      for (uint32_t idx = r.lo; idx < r.hi; ++idx) {
+        indexes_[p.input][p.level] = idx;
+        ADJ_RETURN_IF_ERROR(Emit(i, trie.ValueAt(p.level, idx)));
       }
       return Status::OK();
     }
 
-    std::vector<uint32_t> cursor(k);
-    for (int j = 0; j < k; ++j) cursor[j] = ranges[j].lo;
-    // Leapfrog: repeatedly seek the lagging iterators up to the
-    // current maximum until all agree, emit, then advance.
-    Value max_val = 0;
-    for (int j = 0; j < k; ++j) {
-      Value v = inputs_[parts[j].input].trie->ValueAt(parts[j].level,
-                                                      cursor[j]);
-      if (j == 0 || v > max_val) max_val = v;
-    }
-    int j = 0;
-    int agreed = 0;
-    while (true) {
-      const Trie& trie = *inputs_[parts[j].input].trie;
-      Value v = trie.ValueAt(parts[j].level, cursor[j]);
-      if (v < max_val) {
-        // Lagging iterator: seek up to max_val.
-        cursor[j] = trie.SeekInRange(parts[j].level,
-                                     {cursor[j], ranges[j].hi}, max_val);
-        if (stats_ != nullptr) ++stats_->seeks;
-        if (cursor[j] >= ranges[j].hi) return Status::OK();
-        v = trie.ValueAt(parts[j].level, cursor[j]);
+    const size_t kk = static_cast<size_t>(k);
+    const size_t n = intersect::IntersectK(slot.spans, k, slot.vals, slot.pos,
+                                           slot.scratch, &kernel_stats_);
+    for (size_t t = 0; t < n; ++t) {
+      for (int j = 0; j < k; ++j) {
+        const Participant& p = parts[j];
+        indexes_[p.input][p.level] = slot.ranges[j].lo + slot.pos[t * kk + j];
       }
-      if (v > max_val) {
-        max_val = v;
-        agreed = 1;  // j is the only iterator at the new max
-      } else if (++agreed == k) {
-        // All k iterators sit on max_val: a common value.
-        for (int t = 0; t < k; ++t) {
-          indexes_[parts[t].input][parts[t].level] = cursor[t];
-        }
-        ADJ_RETURN_IF_ERROR(Emit(i, max_val));
-        // Advance iterator j past the emitted value.
-        ++cursor[j];
-        if (cursor[j] >= ranges[j].hi) return Status::OK();
-        max_val = trie.ValueAt(parts[j].level, cursor[j]);
-        agreed = 1;
-      }
-      j = (j + 1) % k;
+      ADJ_RETURN_IF_ERROR(Emit(i, slot.vals[t]));
     }
+    return Status::OK();
   }
 
   /// Cached variant: compute (or reuse) the full intersection at this
   /// position, then iterate it.
   Status DescendCached(int i, const std::vector<Participant>& parts,
-                       const std::vector<Trie::Range>& ranges) {
-    const int k = static_cast<int>(parts.size());
+                       Slot& slot, int k) {
     uint64_t key = HashCombine(0x9E3779B97F4A7C15ULL, uint64_t(i));
     for (int j = 0; j < k; ++j) {
       key = HashCombine(key, (uint64_t(parts[j].input) << 48) ^
-                                 (uint64_t(ranges[j].lo) << 24) ^
-                                 uint64_t(ranges[j].hi));
+                                 (uint64_t(slot.ranges[j].lo) << 24) ^
+                                 uint64_t(slot.ranges[j].hi));
     }
     const IntersectionCache::Entry* entry = cache_->Lookup(key);
     IntersectionCache::Entry fresh;
     if (entry == nullptr) {
-      if (stats_ != nullptr) ++stats_->cache_misses;
-      ADJ_RETURN_IF_ERROR(ComputeIntersection(parts, ranges, &fresh));
-      cache_->Insert(key, fresh);
-      entry = &fresh;
-    } else if (stats_ != nullptr) {
-      ++stats_->cache_hits;
+      ++cache_misses_;
+      // Same kernels as the streaming path, materialized into the
+      // entry's own buffers (the cache outlives this run's arena).
+      const size_t kk = static_cast<size_t>(k);
+      fresh.vals.resize(slot.cap);
+      fresh.idxs.resize(size_t(slot.cap) * kk);
+      const size_t n =
+          intersect::IntersectK(slot.spans, k, fresh.vals.data(),
+                                fresh.idxs.data(), slot.scratch,
+                                &kernel_stats_);
+      fresh.vals.resize(n);
+      fresh.idxs.resize(n * kk);
+      fresh.vals.shrink_to_fit();
+      fresh.idxs.shrink_to_fit();
+      // Kernel positions are span-relative; the cache stores absolute
+      // trie indexes (the key already encodes the ranges).
+      for (size_t t = 0; t < n; ++t) {
+        for (size_t j = 0; j < kk; ++j) {
+          fresh.idxs[t * kk + j] += slot.ranges[j].lo;
+        }
+      }
+      const IntersectionCache::Entry* stored =
+          cache_->Insert(key, std::move(fresh));
+      // Insert leaves `fresh` intact when the cache is full; otherwise
+      // iterate the stored entry (unordered_map growth preserves
+      // element addresses, and the cache never evicts).
+      entry = stored != nullptr ? stored : &fresh;
+    } else {
+      ++cache_hits_;
     }
     const size_t num_vals = entry->vals.size();
     for (size_t t = 0; t < num_vals; ++t) {
@@ -235,60 +308,9 @@ class Executor {
       for (int j = 0; j < k; ++j) {
         indexes_[parts[j].input][parts[j].level] = entry->idxs[t * k + j];
       }
-      // Recursive Emit calls may insert new cache entries, but
-      // unordered_map growth preserves element addresses, so `entry`
-      // stays valid (the cache never evicts).
       ADJ_RETURN_IF_ERROR(Emit(i, v));
     }
     return Status::OK();
-  }
-
-  Status ComputeIntersection(const std::vector<Participant>& parts,
-                             const std::vector<Trie::Range>& ranges,
-                             IntersectionCache::Entry* out) {
-    const int k = static_cast<int>(parts.size());
-    if (k == 1) {
-      const Participant& part = parts[0];
-      const Trie& trie = *inputs_[part.input].trie;
-      for (uint32_t idx = ranges[0].lo; idx < ranges[0].hi; ++idx) {
-        out->vals.push_back(trie.ValueAt(part.level, idx));
-        out->idxs.push_back(idx);
-      }
-      return Status::OK();
-    }
-    std::vector<uint32_t> cursor(k);
-    for (int j = 0; j < k; ++j) cursor[j] = ranges[j].lo;
-    Value max_val = 0;
-    for (int j = 0; j < k; ++j) {
-      Value v = inputs_[parts[j].input].trie->ValueAt(parts[j].level,
-                                                      cursor[j]);
-      if (j == 0 || v > max_val) max_val = v;
-    }
-    int j = 0;
-    int agreed = 0;
-    while (true) {
-      const Trie& trie = *inputs_[parts[j].input].trie;
-      Value v = trie.ValueAt(parts[j].level, cursor[j]);
-      if (v < max_val) {
-        cursor[j] = trie.SeekInRange(parts[j].level,
-                                     {cursor[j], ranges[j].hi}, max_val);
-        if (stats_ != nullptr) ++stats_->seeks;
-        if (cursor[j] >= ranges[j].hi) return Status::OK();
-        v = trie.ValueAt(parts[j].level, cursor[j]);
-      }
-      if (v > max_val) {
-        max_val = v;
-        agreed = 1;
-      } else if (++agreed == k) {
-        out->vals.push_back(max_val);
-        for (int t = 0; t < k; ++t) out->idxs.push_back(cursor[t]);
-        ++cursor[j];
-        if (cursor[j] >= ranges[j].hi) return Status::OK();
-        max_val = trie.ValueAt(parts[j].level, cursor[j]);
-        agreed = 1;
-      }
-      j = (j + 1) % k;
-    }
   }
 
   /// Records the extension to value v at position i and recurses (or
@@ -296,10 +318,7 @@ class Executor {
   Status Emit(int i, Value v) {
     binding_[i] = v;
     ++extensions_;
-    if (stats_ != nullptr) {
-      ++stats_->extensions;
-      ++stats_->tuples_at_level[i];
-    }
+    ++tuples_local_[i];
     ADJ_RETURN_IF_ERROR(CheckLimits());
     if (i + 1 == static_cast<int>(order_.size())) {
       ++count_;
@@ -309,6 +328,22 @@ class Executor {
       return Status::OK();
     }
     return Descend(i + 1);
+  }
+
+  /// One flush per Run — the inner loops tick local counters only, so
+  /// the hot path carries no branches on an optional stats sink.
+  void FlushStats() {
+    if (stats_ == nullptr) return;
+    stats_->seconds += timer_.Seconds();
+    stats_->seeks += kernel_stats_.seeks;
+    stats_->simd_intersections += kernel_stats_.simd_intersections;
+    stats_->scalar_fallbacks += kernel_stats_.scalar_fallbacks;
+    stats_->extensions += extensions_;
+    stats_->cache_hits += cache_hits_;
+    stats_->cache_misses += cache_misses_;
+    for (size_t i = 0; i < tuples_local_.size(); ++i) {
+      stats_->tuples_at_level[i] += tuples_local_[i];
+    }
   }
 
   const std::vector<JoinInput>& inputs_;
@@ -322,6 +357,18 @@ class Executor {
   std::vector<std::vector<Participant>> participants_;  // per order pos
   std::vector<std::vector<uint32_t>> indexes_;  // per input per level
   std::vector<Value> binding_;
+  // Arena backing store (sized once in BuildArena) and per-position
+  // views into it.
+  std::vector<Slot> slots_;
+  std::vector<std::span<const Value>> span_storage_;
+  std::vector<Trie::Range> range_storage_;
+  std::vector<Value> vals_storage_;
+  std::vector<uint32_t> u32_storage_;
+  // Local counters, flushed once per Run.
+  std::vector<uint64_t> tuples_local_;
+  intersect::KernelStats kernel_stats_;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
   uint64_t count_ = 0;
   uint64_t extensions_ = 0;
   WallTimer timer_;
@@ -381,6 +428,28 @@ StatusOr<SharedPreparedRelation> PrepareRelationShared(
   if (!index.ok()) return index.status();
   SharedPreparedRelation out;
   out.index = std::move(index.value());
+  out.attrs = sorted.attrs();
+  return out;
+}
+
+StatusOr<SharedBoundRelation> PrepareRelationRowsShared(
+    std::shared_ptr<const storage::Relation> base,
+    const std::vector<AttrId>& atom_attrs, const std::vector<int>& rank,
+    storage::IndexCache& cache, storage::IndexBuildStats* stats) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("null base relation in PrepareRelation");
+  }
+  if (base->arity() != static_cast<int>(atom_attrs.size())) {
+    return Status::InvalidArgument("atom arity mismatch in PrepareRelation");
+  }
+  storage::Schema bound(atom_attrs);
+  std::vector<int> perm;
+  storage::Schema sorted = bound.SortedBy(rank, &perm);
+  StatusOr<std::shared_ptr<const storage::Relation>> rel =
+      cache.GetPermutedRelation(std::move(base), sorted, perm, stats);
+  if (!rel.ok()) return rel.status();
+  SharedBoundRelation out;
+  out.rel = std::move(rel.value());
   out.attrs = sorted.attrs();
   return out;
 }

@@ -37,6 +37,10 @@ struct JoinStats {
   double seconds = 0.0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  // Kernel dispatch counters: how many 2-way intersections ran on a
+  // SIMD kernel vs the scalar baseline (see wcoj/intersect.h).
+  uint64_t simd_intersections = 0;
+  uint64_t scalar_fallbacks = 0;
 
   void Merge(const JoinStats& other);
 };
@@ -69,7 +73,13 @@ class IntersectionCache {
   };
 
   const Entry* Lookup(uint64_t key) const;
-  void Insert(uint64_t key, Entry entry);
+
+  /// Stores `entry` and returns the resident copy (stable address: the
+  /// map never evicts, and rehashing preserves node addresses), so the
+  /// caller iterates the stored entry instead of keeping its own copy.
+  /// Returns nullptr — leaving `entry` untouched — when the value
+  /// budget is exhausted.
+  const Entry* Insert(uint64_t key, Entry&& entry);
 
   uint64_t stored_values() const { return stored_values_; }
   uint64_t capacity() const { return capacity_; }
@@ -137,6 +147,22 @@ struct SharedPreparedRelation {
 /// through `cache`, building it only on first use. `stats`, when
 /// given, records whether this call built or reused.
 StatusOr<SharedPreparedRelation> PrepareRelationShared(
+    std::shared_ptr<const storage::Relation> base,
+    const std::vector<AttrId>& atom_attrs, const std::vector<int>& rank,
+    storage::IndexCache& cache, storage::IndexBuildStats* stats = nullptr);
+
+/// A bound atom resolved to its trie-less artifact: the permuted,
+/// sorted relation shared by pointer — what hash-join-only consumers
+/// bind, skipping the trie build entirely while still sharing the row
+/// payload with trie-backed binds of the same column order.
+struct SharedBoundRelation {
+  std::shared_ptr<const storage::Relation> rel;
+  std::vector<AttrId> attrs;  // attribute of each column
+};
+
+/// Trie-less PrepareRelationShared: same key resolution, but the
+/// artifact is the permuted sorted relation alone (no trie is built).
+StatusOr<SharedBoundRelation> PrepareRelationRowsShared(
     std::shared_ptr<const storage::Relation> base,
     const std::vector<AttrId>& atom_attrs, const std::vector<int>& rank,
     storage::IndexCache& cache, storage::IndexBuildStats* stats = nullptr);

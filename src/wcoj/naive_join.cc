@@ -112,13 +112,13 @@ StatusOr<storage::Relation> NaiveJoin(const query::Query& q,
   // Bind atom i: rename base relation columns to the atom's attributes
   // and normalize column order to ascending attribute id — resolved
   // through the catalog's index cache, so the oracle's binds warm (and
-  // reuse) the same artifacts the real executors use. The trie rides
-  // along even though hash joins never read it: ascending-order binds
-  // are what the sampler's sub-query passes and bag materialization
-  // request, so the build is shared, not wasted.
+  // reuse) the same row payloads the real executors use. Hash joins
+  // never read a trie, so the bind is trie-less: the shared rows layer
+  // is warmed for everyone, but no trie is built on the oracle's
+  // behalf.
   const std::vector<int> ascending_rank = AscendingRank(q.num_attrs());
   auto bind = [&](const query::Atom& atom)
-      -> StatusOr<std::shared_ptr<const storage::PreparedIndex>> {
+      -> StatusOr<std::shared_ptr<const storage::Relation>> {
     StatusOr<std::shared_ptr<const storage::Relation>> base =
         db.GetShared(atom.relation);
     if (!base.ok()) return base.status();
@@ -126,23 +126,21 @@ StatusOr<storage::Relation> NaiveJoin(const query::Query& q,
       return Status::InvalidArgument("atom arity mismatch for " +
                                      atom.relation);
     }
-    StatusOr<SharedPreparedRelation> prepared = PrepareRelationShared(
+    StatusOr<SharedBoundRelation> prepared = PrepareRelationRowsShared(
         std::move(*base), atom.schema.attrs(), ascending_rank,
         db.index_cache());
     if (!prepared.ok()) return prepared.status();
-    return std::move(prepared->index);
+    return std::move(prepared->rel);
   };
 
-  StatusOr<std::shared_ptr<const storage::PreparedIndex>> acc =
-      bind(q.atom(0));
+  StatusOr<std::shared_ptr<const storage::Relation>> acc = bind(q.atom(0));
   if (!acc.ok()) return acc.status();
-  storage::Relation result = *(*acc)->rel;
+  storage::Relation result = **acc;
   for (int i = 1; i < q.num_atoms(); ++i) {
-    StatusOr<std::shared_ptr<const storage::PreparedIndex>> next =
-        bind(q.atom(i));
+    StatusOr<std::shared_ptr<const storage::Relation>> next = bind(q.atom(i));
     if (!next.ok()) return next.status();
     StatusOr<storage::Relation> joined =
-        HashJoin(result, *(*next)->rel, row_limit);
+        HashJoin(result, **next, row_limit);
     if (!joined.ok()) return joined.status();
     result = std::move(joined.value());
   }

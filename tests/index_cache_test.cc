@@ -55,10 +55,61 @@ TEST(IndexCacheTest, HitReturnsPointerIdenticalIndex) {
   EXPECT_TRUE((*first)->rel->IsSortedUnique());
   EXPECT_EQ((*first)->trie->NumTuples(), (*first)->rel->size());
 
+  // Layered entries: rows + trie + labeled bind on the first call (the
+  // trie layer re-resolves the rows layer, scoring the first hit); the
+  // second call hits the labeled bind directly.
   IndexCache::Stats stats = db.index_cache().stats();
-  EXPECT_EQ(stats.builds, 1u);
-  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.builds, 3u);
+  EXPECT_EQ(stats.hits, 2u);
   EXPECT_GT(stats.resident_bytes, 0u);
+}
+
+TEST(IndexCacheTest, LabelingsOfOnePermutationSharePayload) {
+  Catalog db;
+  db.Put("G", SmallGraph(15));
+  std::shared_ptr<const Relation> base = *db.GetShared("G");
+
+  // Two attribute labelings of the same physical permutation — the
+  // triangle query's G(a,b) / G(b,c) / G(a,c) pattern.
+  Schema ab({0, 1}), bc({1, 2});
+  auto first = db.index_cache().GetPermuted(base, ab, {0, 1});
+  ASSERT_TRUE(first.ok()) << first.status();
+  const uint64_t bytes_one_labeling = db.index_cache().resident_bytes();
+  auto second = db.index_cache().GetPermuted(base, bc, {0, 1});
+  ASSERT_TRUE(second.ok()) << second.status();
+
+  // Distinct labeled artifacts, one physical payload: the trie pointer
+  // and the row buffer are shared, and the second labeling adds zero
+  // resident bytes.
+  EXPECT_NE(first->get(), second->get());
+  EXPECT_EQ((*first)->trie.get(), (*second)->trie.get());
+  EXPECT_EQ((*first)->rel->RowsIdentity(), (*second)->rel->RowsIdentity());
+  EXPECT_EQ((*first)->rel->schema().ToString(), ab.ToString());
+  EXPECT_EQ((*second)->rel->schema().ToString(), bc.ToString());
+  EXPECT_EQ(db.index_cache().resident_bytes(), bytes_one_labeling);
+}
+
+TEST(IndexCacheTest, TrieLessBindSharesRowsAndSkipsTrieBuild) {
+  Catalog db;
+  db.Put("G", SmallGraph(16));
+  std::shared_ptr<const Relation> base = *db.GetShared("G");
+
+  auto rel = db.index_cache().GetPermutedRelation(base, base->schema(),
+                                                  IdentityPerm(*base));
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_TRUE((*rel)->IsSortedUnique());
+  // Only the rows layer and the trie-less alias exist — no trie was
+  // built for a hash-join-only bind.
+  EXPECT_EQ(db.index_cache().size(), 2u);
+  const uint64_t rows_only_bytes = db.index_cache().resident_bytes();
+
+  auto idx = db.index_cache().GetPermuted(base, base->schema(),
+                                          IdentityPerm(*base));
+  ASSERT_TRUE(idx.ok()) << idx.status();
+  // The trie-backed bind reuses the same row payload and only then
+  // pays for the trie.
+  EXPECT_EQ((*rel)->RowsIdentity(), (*idx)->rel->RowsIdentity());
+  EXPECT_GT(db.index_cache().resident_bytes(), rows_only_bytes);
 }
 
 TEST(IndexCacheTest, DistinctColumnOrdersAreDistinctEntries) {
@@ -74,7 +125,8 @@ TEST(IndexCacheTest, DistinctColumnOrdersAreDistinctEntries) {
   auto backward = db.index_cache().GetPermuted(base, reversed, {1, 0});
   ASSERT_TRUE(backward.ok());
   EXPECT_NE(forward->get(), backward->get());
-  EXPECT_EQ(db.index_cache().stats().builds, 2u);
+  // Distinct permutations share nothing: two full layer stacks.
+  EXPECT_EQ(db.index_cache().stats().builds, 6u);
 }
 
 TEST(IndexCacheTest, GenerationBumpEvictsReplacedRelationsIndexes) {
@@ -91,10 +143,11 @@ TEST(IndexCacheTest, GenerationBumpEvictsReplacedRelationsIndexes) {
                     .GetPermuted(h, h->schema(), IdentityPerm(*h))
                     .ok());
   }
-  ASSERT_EQ(db.index_cache().size(), 2u);
+  // Three layered entries (rows, trie, labeled bind) per relation.
+  ASSERT_EQ(db.index_cache().size(), 6u);
 
-  // Replacing G bumps the generation and sweeps G's index; H's entry
-  // survives pointer-identical.
+  // Replacing G bumps the generation and sweeps G's index; H's entries
+  // survive pointer-identical.
   const Relation* h_before =
       db.index_cache()
           .GetPermuted(*db.GetShared("H"), (*db.Get("H"))->schema(),
@@ -104,7 +157,7 @@ TEST(IndexCacheTest, GenerationBumpEvictsReplacedRelationsIndexes) {
   const uint64_t gen_before = db.generation();
   db.Put("G", SmallGraph(5));
   EXPECT_GT(db.generation(), gen_before);
-  EXPECT_EQ(db.index_cache().size(), 1u);
+  EXPECT_EQ(db.index_cache().size(), 3u);
   EXPECT_GE(db.index_cache().stats().evictions, 1u);
   const Relation* h_after =
       db.index_cache()
@@ -127,7 +180,7 @@ TEST(IndexCacheTest, HeldIndexesSurviveReplacementUntilReleased) {
   // ExecutionContext aliasing the relation) still references the old
   // G, so the entry must not be swept out from under it...
   db.Put("G", SmallGraph(7));
-  EXPECT_EQ(db.index_cache().size(), 1u);
+  EXPECT_EQ(db.index_cache().size(), 3u);
 
   // ...but once the last consumer lets go, the next bump collects it.
   held = StatusOr<std::shared_ptr<const PreparedIndex>>(
@@ -231,7 +284,11 @@ TEST(IndexCacheTest, ByteBudgetEvictsUnreferencedLru) {
   ASSERT_TRUE(idx_b.ok());
   EXPECT_LE(db.index_cache().resident_bytes(),
             one_entry + one_entry / 2);
-  EXPECT_EQ(db.index_cache().size(), 1u);
+  // A's stack was (at least partially) evicted to make room; B's full
+  // stack (rows, trie, labeled bind) is resident and usable.
+  EXPECT_GE(db.index_cache().stats().evictions, 1u);
+  EXPECT_LT(db.index_cache().size(), 6u);
+  EXPECT_TRUE((*idx_b)->rel->IsSortedUnique());
 }
 
 }  // namespace
