@@ -5,6 +5,11 @@
 //     --graph PATH      load a SNAP edge list as relation G
 //     --dataset NAME    use a builtin stand-in (WB/AS/WT/LJ/EN/OK)
 //     --scale S         builtin dataset scale (default 0.2)
+//     --load PATH       open a snapshot (relations + warm indexes)
+//                       instead of loading a dataset
+//     --save PATH       after the query runs, snapshot the catalog —
+//                       including the indexes the query just warmed —
+//                       so the next `adj_cli --load PATH` starts warm
 //     --servers N       simulated servers (default 4)
 //     --strategy NAME   any registered strategy (default ADJ); the cli
 //                       itself registers "Yannakakis" at startup to
@@ -77,6 +82,7 @@ int main(int argc, char** argv) {
   }
 
   std::string graph_path, dataset_name = "AS", query_text;
+  std::string load_path, save_path;
   std::string strategy = "ADJ";
   double scale = 0.2;
   int servers = 4;
@@ -89,6 +95,10 @@ int main(int argc, char** argv) {
     };
     if (arg == "--graph") {
       graph_path = next();
+    } else if (arg == "--load") {
+      load_path = next();
+    } else if (arg == "--save") {
+      save_path = next();
     } else if (arg == "--dataset") {
       dataset_name = next();
     } else if (arg == "--scale") {
@@ -124,7 +134,17 @@ int main(int argc, char** argv) {
   }
 
   api::Database db;
-  if (!graph_path.empty()) {
+  if (!load_path.empty()) {
+    Status opened = db.Open(load_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "snapshot error: %s\n",
+                   opened.ToString().c_str());
+      return 1;
+    }
+    std::printf("opened snapshot %s: %llu tuples, warm indexes mapped\n",
+                load_path.c_str(),
+                static_cast<unsigned long long>(db.total_tuples()));
+  } else if (!graph_path.empty()) {
     Status loaded = db.LoadEdgeList(graph_path);
     if (!loaded.ok()) {
       std::fprintf(stderr, "load error: %s\n", loaded.ToString().c_str());
@@ -198,6 +218,20 @@ int main(int argc, char** argv) {
     std::printf("  [selection push-down removed %llu tuples]",
                 static_cast<unsigned long long>(result.selection_filtered()));
   }
+  if (result.index_mmap_loaded() > 0) {
+    std::printf("  [%llu bindings served by snapshot-mapped indexes]",
+                static_cast<unsigned long long>(result.index_mmap_loaded()));
+  }
   std::printf("\n");
+  if (!save_path.empty()) {
+    // Saved after the run on purpose: the snapshot carries the index
+    // artifacts this query just built, so reopening starts warm.
+    Status saved = db.Save(save_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save error: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved snapshot to %s\n", save_path.c_str());
+  }
   return 0;
 }

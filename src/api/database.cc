@@ -4,6 +4,7 @@
 
 #include "api/session.h"
 #include "dataset/builtin.h"
+#include "persist/snapshot.h"
 #include "storage/edge_list_io.h"
 
 namespace adj::api {
@@ -33,6 +34,23 @@ Status Database::LoadEdgeList(const std::string& path,
 
 void Database::AddRelation(const std::string& name, storage::Relation rel) {
   catalog_->Put(name, std::move(rel));
+}
+
+Status Database::Save(const std::string& path) const {
+  StatusOr<persist::WriteStats> stats =
+      persist::SnapshotWriter::Write(*catalog_, path);
+  return stats.ok() ? Status::OK() : stats.status();
+}
+
+Status Database::Open(const std::string& path) {
+  StatusOr<persist::SnapshotReader> reader = persist::SnapshotReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  // Full-file integrity before any bytes are trusted: every segment's
+  // checksum (one sequential pass) — a flipped bit anywhere fails here.
+  ADJ_RETURN_IF_ERROR(reader->VerifyChecksums());
+  StatusOr<persist::SnapshotReader::LoadStats> loaded =
+      reader->LoadInto(catalog_.get());
+  return loaded.ok() ? Status::OK() : loaded.status();
 }
 
 std::vector<std::string> Database::relation_names() const {

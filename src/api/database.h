@@ -54,6 +54,24 @@ class Database {
   /// binding of `name`).
   void AddRelation(const std::string& name, storage::Relation rel);
 
+  /// Serializes the catalog into a versioned, checksummed snapshot:
+  /// every relation plus every resident permuted-index artifact of
+  /// the index cache, each written raw (mmap-able) and compressed.
+  /// Atomic (temp file + rename); overwrites `path`.
+  Status Save(const std::string& path) const;
+
+  /// Restores a snapshot written by Save into this database: verifies
+  /// header/TOC/segment checksums, then maps the file and registers
+  /// relations and warm indexes that *view the mapped bytes in place*
+  /// — no parsing, no trie builds; a prepared query right after Open
+  /// binds mmap-loaded indexes (see Result::index_mmap_loaded).
+  /// Registering bumps generation() exactly like any other reload, so
+  /// serve-layer plan caches invalidate correctly. Snapshot contents
+  /// are added to (and replace same-named entries of) the current
+  /// catalog. Corrupt or incompatible files fail with a Status error
+  /// and leave the catalog untouched.
+  Status Open(const std::string& path);
+
   const storage::Catalog& catalog() const { return *catalog_; }
   std::vector<std::string> relation_names() const;
   uint64_t total_tuples() const;

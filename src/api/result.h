@@ -65,6 +65,10 @@ class Result {
   /// observable "no per-run rebuild" guarantee.
   uint64_t index_builds() const { return run_.report.index_builds; }
   uint64_t index_reused() const { return run_.report.index_reused; }
+  /// Of index_reused(), how many bindings were served by indexes
+  /// mmap-loaded from a snapshot (api::Database::Open) instead of
+  /// built in this process — nonzero right after a warm restart.
+  uint64_t index_mmap_loaded() const { return run_.report.index_mmap; }
 
   /// Intersection-kernel accounting for this run: 2-way intersections
   /// served by a SIMD kernel (SSE4.2/AVX2) vs the scalar galloping

@@ -69,9 +69,17 @@ StatusOr<PreparedQuery> Session::Prepare(const std::string& query_text) const {
   // artifacts below stay resident in the shared index cache, so every
   // run binds without building (the per-server shard artifacts are
   // built once, by the first run).
+  size_t mmap_loaded = 0;
+  for (const auto& index : ctx->pinned_indexes) {
+    if (index != nullptr && index->trie != nullptr &&
+        index->trie->mmap_backed()) {
+      ++mmap_loaded;
+    }
+  }
   planned->explanation +=
       "pinned indexes: " + std::to_string(ctx->pinned_indexes.size()) +
-      " (" + std::to_string(ctx->ResidentBytes()) +
+      " (" + std::to_string(mmap_loaded) + " mmap-loaded from snapshot, " +
+      std::to_string(ctx->ResidentBytes()) +
       " bytes resident; every run binds prebuilt, shard indexes build "
       "once on the first run)\n";
   planned->explanation +=

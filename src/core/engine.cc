@@ -375,6 +375,7 @@ StatusOr<exec::RunReport> Engine::RunPrepared(const ExecutionContext& ctx,
   report.scalar_fallbacks = run->report.scalar_fallbacks;
   report.index_builds = run->report.index_builds;
   report.index_reused = run->report.index_reused;
+  report.index_mmap = run->report.index_mmap;
   report.rounds = 1;
   return report;
 }

@@ -27,6 +27,15 @@ struct HCubeInput {
   const storage::Relation* rel = nullptr;
   std::vector<AttrId> attrs;
   std::shared_ptr<const void> pin;
+  /// Optional shared handles to the *same* relation as `rel` and the
+  /// trie built over it (a prepared index's rel/trie). When the
+  /// cluster has one server they enable the alias fast path: the
+  /// single shard is the prepared relation itself, so the shuffle
+  /// routes, sorts, and builds nothing, and reports an index reuse
+  /// (mmap-flagged when the trie is snapshot-loaded) instead of a
+  /// build. Ignored unless `shared_rel.get() == rel`.
+  std::shared_ptr<const storage::Relation> shared_rel;
+  std::shared_ptr<const storage::Trie> trie;
 };
 
 /// One input's shuffle outcome in shareable form: per server the

@@ -59,6 +59,7 @@ StatusOr<RunReport> RunBigJoin(const query::Query& q,
   if (!bound.ok()) return bound.status();
   report.index_builds = index_stats.builds;
   report.index_reused = index_stats.hits;
+  report.index_mmap = index_stats.mmap_hits;
 
   const int n = static_cast<int>(order.size());
   const std::vector<int> rank = query::RankOf(order, q.num_attrs());

@@ -55,6 +55,7 @@ StatusOr<RunReport> RunBinaryJoin(const query::Query& q,
   }
   report.index_builds = bind_stats.builds;
   report.index_reused = bind_stats.hits;
+  report.index_mmap = bind_stats.mmap_hits;
 
   // Greedy join order: start from the smallest relation, repeatedly
   // join the smallest relation sharing an attribute with the current

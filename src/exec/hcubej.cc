@@ -79,13 +79,20 @@ StatusOr<HCubeJOutput> RunHCubeJ(const query::Query& q,
   std::vector<dist::HCubeInput> hinputs;
   hinputs.reserve(bound->size());
   for (const BoundAtom& b : *bound) {
-    hinputs.push_back(dist::HCubeInput{&b.rel(), b.attrs, b.index});
+    dist::HCubeInput in;
+    in.rel = &b.rel();
+    in.attrs = b.attrs;
+    in.pin = b.index;
+    in.shared_rel = b.index->rel;
+    in.trie = b.index->trie;
+    hinputs.push_back(std::move(in));
   }
   StatusOr<dist::HCubeResult> shuffle =
       dist::HCubeShuffle(hinputs, share, params.variant, cluster,
                          &db.index_cache(), &index_stats);
   out.report.index_builds = index_stats.builds;
   out.report.index_reused = index_stats.hits;
+  out.report.index_mmap = index_stats.mmap_hits;
   if (!shuffle.ok()) {
     out.report.status = shuffle.status();
     return out;

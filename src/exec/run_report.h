@@ -51,6 +51,9 @@ struct RunReport {
   /// tries end the per-run rebuild".
   uint64_t index_builds = 0;
   uint64_t index_reused = 0;
+  /// Of index_reused, how many were adopted from an mmap'ed snapshot
+  /// (persist warm restore) rather than built earlier in this process.
+  uint64_t index_mmap = 0;
 
   std::string plan_description;
 

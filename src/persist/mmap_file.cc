@@ -1,0 +1,75 @@
+#include "persist/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace adj::persist {
+
+StatusOr<std::shared_ptr<const MappedFile>> MappedFile::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("cannot open snapshot '" + path +
+                            "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "' is not a regular file");
+  }
+  // shared_ptr<MappedFile> with a private constructor: go through a
+  // local subclass so make_shared stays usable.
+  struct Constructible : MappedFile {};
+  auto file = std::make_shared<Constructible>();
+  file->size_ = static_cast<size_t>(st.st_size);
+  if (file->size_ == 0) {
+    ::close(fd);
+    return Status::InvalidArgument("snapshot '" + path + "' is empty");
+  }
+  void* addr = ::mmap(nullptr, file->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (addr != MAP_FAILED) {
+    file->data_ = static_cast<const uint8_t*>(addr);
+    file->mapped_ = true;
+  } else {
+    // Heap fallback: same bytes, no page-cache sharing.
+    file->heap_.resize(file->size_);
+    size_t off = 0;
+    while (off < file->size_) {
+      const ssize_t n =
+          ::pread(fd, file->heap_.data() + off, file->size_ - off, off);
+      if (n <= 0) {
+        ::close(fd);
+        return Status::Internal("short read of snapshot '" + path +
+                                "': " + std::strerror(errno));
+      }
+      off += static_cast<size_t>(n);
+    }
+    file->data_ = file->heap_.data();
+  }
+  ::close(fd);  // the mapping (or heap copy) outlives the descriptor
+  return std::shared_ptr<const MappedFile>(std::move(file));
+}
+
+MappedFile::~MappedFile() {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+StatusOr<std::span<const uint8_t>> MappedFile::View(uint64_t offset,
+                                                    uint64_t length) const {
+  if (offset > size_ || length > size_ - offset) {
+    return Status::OutOfRange("snapshot segment [" + std::to_string(offset) +
+                              ", +" + std::to_string(length) +
+                              ") exceeds file size " + std::to_string(size_));
+  }
+  return std::span<const uint8_t>(data_ + offset, length);
+}
+
+}  // namespace adj::persist

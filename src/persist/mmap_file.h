@@ -1,0 +1,54 @@
+#ifndef ADJ_PERSIST_MMAP_FILE_H_
+#define ADJ_PERSIST_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace adj::persist {
+
+/// A read-only file mapped into the address space. The shared_ptr
+/// handle doubles as the keepalive every span-viewing structure
+/// (Relation::AliasSpan, Trie::FromMapped) holds: the mapping lives
+/// exactly as long as something still views it.
+///
+/// On platforms (or filesystems) where mmap fails, falls back to
+/// reading the file into heap memory — callers see identical spans
+/// either way, just without the page-cache sharing.
+class MappedFile {
+ public:
+  static StatusOr<std::shared_ptr<const MappedFile>> Open(
+      const std::string& path);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  /// Whether the bytes are an actual mmap (vs the heap fallback).
+  bool is_mapped() const { return mapped_; }
+
+  /// Bounds-checked view of [offset, offset+length).
+  StatusOr<std::span<const uint8_t>> View(uint64_t offset,
+                                          uint64_t length) const;
+
+ private:
+  MappedFile() = default;
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<uint8_t> heap_;  // fallback storage when !mapped_
+};
+
+}  // namespace adj::persist
+
+#endif  // ADJ_PERSIST_MMAP_FILE_H_

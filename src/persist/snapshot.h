@@ -1,0 +1,173 @@
+#ifndef ADJ_PERSIST_SNAPSHOT_H_
+#define ADJ_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/mmap_file.h"
+#include "storage/catalog.h"
+#include "storage/index_cache.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+#include "storage/trie.h"
+
+namespace adj::persist {
+
+/// Snapshot file format v1 — the build-once / mmap-many layer
+/// (docs/PERSISTENCE.md has the full layout diagram):
+///
+///   header | segment* | manifest segment | TOC segment | footer
+///
+/// Every index payload is written twice: a *raw* segment — the exact
+/// little-endian array layout `Relation::AliasSpan` and
+/// `Trie::FromMapped` can view in place, 64-byte aligned so a reopened
+/// process serves from the page cache with zero parsing — and a
+/// *compressed mirror* (dictionary / delta+vbyte runs) used for deep
+/// verification today and compressed-kernel execution later. The
+/// footer points at a TOC listing every segment's offset, size, and
+/// checksum, so individual segments can be mapped (and later paged)
+/// on demand.
+///
+/// Versioning policy: `kVersion` bumps on any layout change; readers
+/// reject other versions (no silent migration), and reject snapshots
+/// written on a platform with different endianness or Value width.
+
+inline constexpr char kMagic[8] = {'A', 'D', 'J', 'S', 'N', 'A', 'P', '1'};
+inline constexpr char kFooterMagic[8] = {'A', 'D', 'J', 'S', 'E', 'O', 'F',
+                                         '1'};
+inline constexpr uint32_t kVersion = 1;
+inline constexpr uint32_t kEndianTag = 0x01020304;
+inline constexpr uint64_t kHeaderSize = 32;
+inline constexpr uint64_t kFooterSize = 40;
+inline constexpr uint64_t kSegmentAlign = 64;
+
+/// Segment kinds recorded in the TOC (informative; the manifest is
+/// what binds segments to structures).
+enum class SegmentKind : uint8_t {
+  kManifest = 0,
+  kRelationRows = 1,   // raw rows of a catalog relation
+  kPayloadRows = 2,    // raw rows of a permuted index payload
+  kTrieValues = 3,     // raw value array of one trie level
+  kTrieChild = 4,      // raw CSR child-offset array of one trie level
+  kRelationDict = 5,   // compressed mirror: dictionary-encoded relation
+  kPayloadBlock = 6,   // compressed mirror: delta+vbyte sorted rows
+  kTrieBlock = 7,      // compressed mirror: delta+vbyte trie levels
+};
+
+/// One TOC row.
+struct SegmentInfo {
+  SegmentKind kind = SegmentKind::kManifest;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint64_t checksum = 0;
+};
+
+/// Fast content checksum: Mix64-chained over 64-bit words (seeded with
+/// the length, tail bytes folded in) — order-sensitive, ~word speed.
+uint64_t Checksum(const uint8_t* data, size_t n);
+
+/// What Write() put into the file, for logs and bench records.
+struct WriteStats {
+  uint64_t relations = 0;  // distinct physical relations
+  uint64_t names = 0;      // name bindings (>= relations, aliases)
+  uint64_t payloads = 0;   // perm-keyed index payloads
+  uint64_t tries = 0;      // payloads carrying a trie
+  uint64_t bindings = 0;   // labeled bind/rel entries across payloads
+  uint64_t file_bytes = 0;
+  uint64_t raw_bytes = 0;         // mmap-able array segments
+  uint64_t compressed_bytes = 0;  // mirror segments
+};
+
+/// Serializes a catalog — relations, name bindings, and every resident
+/// permuted-index payload of its IndexCache — into one snapshot file.
+class SnapshotWriter {
+ public:
+  /// Writes atomically (temp file + rename). Overwrites `path`.
+  static StatusOr<WriteStats> Write(const storage::Catalog& catalog,
+                                    const std::string& path);
+};
+
+/// Opens a snapshot and restores it into a catalog. Open() maps the
+/// file and validates header, footer, TOC, and manifest structure
+/// (every segment bounds-checked) without touching payload bytes;
+/// VerifyChecksums() reads every segment once; LoadInto() aliases the
+/// mapped arrays into relations/tries and adopts them into the
+/// catalog's IndexCache. All failure paths are Status errors — a
+/// corrupt file never crashes the process.
+class SnapshotReader {
+ public:
+  SnapshotReader() = default;
+
+  static StatusOr<SnapshotReader> Open(const std::string& path);
+
+  const std::vector<SegmentInfo>& segments() const { return segments_; }
+  const std::shared_ptr<const MappedFile>& file() const { return file_; }
+
+  /// Recomputes and compares every segment checksum (including the
+  /// TOC's own, already checked at Open).
+  Status VerifyChecksums() const;
+
+  /// Deep verification: VerifyChecksums, then decodes every compressed
+  /// mirror and compares it value-for-value against the raw segment it
+  /// mirrors. The strongest offline integrity check; used by tests and
+  /// `adj_cli --verify`-style tooling, not by the serving path.
+  Status Verify() const;
+
+  struct LoadStats {
+    uint64_t relations = 0;
+    uint64_t names = 0;
+    uint64_t payloads = 0;
+    uint64_t tries = 0;
+    uint64_t bindings = 0;
+    uint64_t mapped_bytes = 0;  // raw bytes now viewed by the catalog
+  };
+
+  /// Restores the snapshot into `catalog`: PutShared every name (this
+  /// bumps the catalog generation, like any reload), then adopts index
+  /// payloads — hottest last — into the catalog's IndexCache under its
+  /// byte budget. Relations and tries view the mapped file; the
+  /// MappedFile handle is kept alive by them.
+  StatusOr<LoadStats> LoadInto(storage::Catalog* catalog) const;
+
+ private:
+  struct PhysRel {
+    storage::Schema schema;
+    uint64_t row_count = 0;
+    uint32_t rows_seg = 0;
+    int64_t dict_seg = -1;  // -1: no compressed mirror
+  };
+  struct TrieLevelRef {
+    uint64_t values_count = 0;
+    uint32_t values_seg = 0;
+    int64_t child_seg = -1;  // -1: deepest level
+  };
+  struct Payload {
+    uint32_t phys = 0;
+    std::vector<int> perm;
+    uint64_t row_count = 0;
+    uint32_t rows_seg = 0;
+    int64_t block_seg = -1;
+    bool has_trie = false;
+    std::vector<TrieLevelRef> levels;
+    int64_t trie_block_seg = -1;
+    std::vector<storage::IndexCache::Binding> bindings;
+  };
+
+  StatusOr<std::span<const uint8_t>> SegmentBytes(uint64_t index) const;
+  StatusOr<std::span<const Value>> SegmentValues(
+      uint64_t index) const;
+  StatusOr<std::span<const uint32_t>> SegmentOffsets(uint64_t index) const;
+
+  std::shared_ptr<const MappedFile> file_;
+  std::vector<SegmentInfo> segments_;
+  std::vector<PhysRel> relations_;
+  std::vector<std::pair<std::string, uint32_t>> names_;  // name -> phys
+  std::vector<Payload> payloads_;  // ascending hotness (LRU order)
+};
+
+}  // namespace adj::persist
+
+#endif  // ADJ_PERSIST_SNAPSHOT_H_

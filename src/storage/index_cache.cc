@@ -13,10 +13,35 @@ std::string SpecJoin(const std::vector<int>& xs) {
   return out;
 }
 
+namespace {
+
+std::string RowsSpec(const std::vector<int>& perm) {
+  return "rows:p=" + SpecJoin(perm);
+}
+std::string TrieSpec(const std::vector<int>& perm) {
+  return "trie:p=" + SpecJoin(perm);
+}
+std::string BindSpec(const std::vector<int>& perm, const Schema& schema) {
+  return "bind:p=" + SpecJoin(perm) + ";a=" + schema.ToString();
+}
+std::string RelSpec(const std::vector<int>& perm, const Schema& schema) {
+  return "rel:p=" + SpecJoin(perm) + ";a=" + schema.ToString();
+}
+
+}  // namespace
+
 StatusOr<std::shared_ptr<const void>> IndexCache::GetOrBuild(
     const void* identity, const std::string& spec,
     std::shared_ptr<const void> pin, const BuildFn& build,
     IndexBuildStats* stats) {
+  return GetOrBuildTagged(identity, spec, std::move(pin), build, stats,
+                          /*meta=*/nullptr);
+}
+
+StatusOr<std::shared_ptr<const void>> IndexCache::GetOrBuildTagged(
+    const void* identity, const std::string& spec,
+    std::shared_ptr<const void> pin, const BuildFn& build,
+    IndexBuildStats* stats, std::shared_ptr<const PermutedMeta> meta) {
   if (identity == nullptr || pin == nullptr) {
     return Status::InvalidArgument("index cache key needs a live source");
   }
@@ -34,12 +59,17 @@ StatusOr<std::shared_ptr<const void>> IndexCache::GetOrBuild(
     }
     entry->lru_tick = ++tick_;
     ++stats_.hits;
-    if (stats != nullptr) ++stats->hits;
+    if (entry->mmap) ++stats_.mmap_hits;
+    if (stats != nullptr) {
+      ++stats->hits;
+      if (entry->mmap) ++stats->mmap_hits;
+    }
     return entry->artifact;
   }
 
   auto entry = std::make_shared<Entry>();
   entry->pin = std::move(pin);
+  entry->meta = std::move(meta);
   entries_[key] = entry;
   lock.unlock();
   StatusOr<BuildResult> built = build();
@@ -70,43 +100,49 @@ StatusOr<std::shared_ptr<const void>> IndexCache::GetOrBuild(
   return entry->artifact;
 }
 
-StatusOr<std::shared_ptr<const std::vector<Value>>> IndexCache::GetPermutedRows(
+StatusOr<std::shared_ptr<const Relation>> IndexCache::GetPermutedRows(
     const std::shared_ptr<const Relation>& base, const Schema& schema,
     const std::vector<int>& perm) {
-  const std::string spec = "rows:p=" + SpecJoin(perm);
-  StatusOr<std::shared_ptr<const void>> artifact = GetOrBuild(
-      base.get(), spec, base,
+  auto meta = std::make_shared<PermutedMeta>();
+  meta->kind = PermutedMeta::kRows;
+  meta->perm = perm;
+  StatusOr<std::shared_ptr<const void>> artifact = GetOrBuildTagged(
+      base.get(), RowsSpec(perm), base,
       [&]() -> StatusOr<BuildResult> {
+        // The canonical physical payload: one permuted + sorted
+        // relation per (base, perm), whose buffer every labeling
+        // aliases. Snapshot adoption swaps in a mapped-span relation
+        // under the same key.
         Relation rel = base->PermuteColumns(schema, perm);
         rel.SortAndDedup();
-        auto rows = std::make_shared<const std::vector<Value>>(
-            std::move(rel.mutable_raw()));
-        return BuildResult{rows, rows->size() * sizeof(Value)};
+        auto canon = std::make_shared<const Relation>(std::move(rel));
+        return BuildResult{canon, canon->SizeBytes()};
       },
-      /*stats=*/nullptr);
+      /*stats=*/nullptr, std::move(meta));
   if (!artifact.ok()) return artifact.status();
-  return std::static_pointer_cast<const std::vector<Value>>(*artifact);
+  return std::static_pointer_cast<const Relation>(*artifact);
 }
 
 StatusOr<std::shared_ptr<const Trie>> IndexCache::GetPermutedTrie(
     const std::shared_ptr<const Relation>& base, const Schema& schema,
     const std::vector<int>& perm) {
-  const std::string spec = "trie:p=" + SpecJoin(perm);
-  StatusOr<std::shared_ptr<const void>> artifact = GetOrBuild(
-      base.get(), spec, base,
+  auto meta = std::make_shared<PermutedMeta>();
+  meta->kind = PermutedMeta::kTrie;
+  meta->perm = perm;
+  StatusOr<std::shared_ptr<const void>> artifact = GetOrBuildTagged(
+      base.get(), TrieSpec(perm), base,
       [&]() -> StatusOr<BuildResult> {
         // Nested get: the build runs outside the cache lock, so
         // re-entering for the rows layer is safe (single-flight is per
         // key). The trie's shape does not depend on the labeling; the
         // schema is only borrowed for arity.
-        StatusOr<std::shared_ptr<const std::vector<Value>>> rows =
+        StatusOr<std::shared_ptr<const Relation>> rows =
             GetPermutedRows(base, schema, perm);
         if (!rows.ok()) return rows.status();
-        const Relation alias = Relation::AliasRows(schema, *rows);
-        auto trie = std::make_shared<const Trie>(Trie::Build(alias));
+        auto trie = std::make_shared<const Trie>(Trie::Build(**rows));
         return BuildResult{trie, trie->StorageValues() * sizeof(Value)};
       },
-      /*stats=*/nullptr);
+      /*stats=*/nullptr, std::move(meta));
   if (!artifact.ok()) return artifact.status();
   return std::static_pointer_cast<const Trie>(*artifact);
 }
@@ -122,16 +158,19 @@ StatusOr<std::shared_ptr<const PreparedIndex>> IndexCache::GetPermuted(
     return Status::InvalidArgument("column order arity mismatch for index");
   }
   const Relation* identity = base.get();
+  auto meta = std::make_shared<PermutedMeta>();
+  meta->kind = PermutedMeta::kBind;
+  meta->perm = perm;
+  meta->schema = schema;
   // The physical payload depends only on the column permutation; the
   // attribute labeling rides along because consumers — HashJoin above
   // all — read rel->schema() for join semantics. The labeled entry is
-  // therefore an alias: its rows vector and trie live in (and are
+  // therefore an alias: its rows buffer and trie live in (and are
   // charged to) the perm-keyed layers, shared across labelings.
-  std::string spec = "bind:p=" + SpecJoin(perm) + ";a=" + schema.ToString();
-  StatusOr<std::shared_ptr<const void>> artifact = GetOrBuild(
-      identity, spec, base,
+  StatusOr<std::shared_ptr<const void>> artifact = GetOrBuildTagged(
+      identity, BindSpec(perm, schema), base,
       [&]() -> StatusOr<BuildResult> {
-        StatusOr<std::shared_ptr<const std::vector<Value>>> rows =
+        StatusOr<std::shared_ptr<const Relation>> rows =
             GetPermutedRows(base, schema, perm);
         if (!rows.ok()) return rows.status();
         StatusOr<std::shared_ptr<const Trie>> trie =
@@ -139,13 +178,13 @@ StatusOr<std::shared_ptr<const PreparedIndex>> IndexCache::GetPermuted(
         if (!trie.ok()) return trie.status();
         auto index = std::make_shared<PreparedIndex>();
         index->rel = std::make_shared<const Relation>(
-            Relation::AliasRows(schema, std::move(*rows)));
+            Relation::AliasSpan(schema, (*rows)->raw(), *rows));
         index->trie = std::move(*trie);
         // Alias entry: payload bytes are charged once, on the
         // perm-keyed rows/trie entries.
         return BuildResult{index, 0};
       },
-      stats);
+      stats, std::move(meta));
   if (!artifact.ok()) return artifact.status();
   return std::static_pointer_cast<const PreparedIndex>(*artifact);
 }
@@ -161,20 +200,150 @@ StatusOr<std::shared_ptr<const Relation>> IndexCache::GetPermutedRelation(
     return Status::InvalidArgument("column order arity mismatch for index");
   }
   const Relation* identity = base.get();
-  std::string spec = "rel:p=" + SpecJoin(perm) + ";a=" + schema.ToString();
-  StatusOr<std::shared_ptr<const void>> artifact = GetOrBuild(
-      identity, spec, base,
+  auto meta = std::make_shared<PermutedMeta>();
+  meta->kind = PermutedMeta::kRel;
+  meta->perm = perm;
+  meta->schema = schema;
+  StatusOr<std::shared_ptr<const void>> artifact = GetOrBuildTagged(
+      identity, RelSpec(perm, schema), base,
       [&]() -> StatusOr<BuildResult> {
-        StatusOr<std::shared_ptr<const std::vector<Value>>> rows =
+        StatusOr<std::shared_ptr<const Relation>> rows =
             GetPermutedRows(base, schema, perm);
         if (!rows.ok()) return rows.status();
         auto rel = std::make_shared<const Relation>(
-            Relation::AliasRows(schema, std::move(*rows)));
+            Relation::AliasSpan(schema, (*rows)->raw(), *rows));
         return BuildResult{rel, 0};
       },
-      stats);
+      stats, std::move(meta));
   if (!artifact.ok()) return artifact.status();
   return std::static_pointer_cast<const Relation>(*artifact);
+}
+
+std::vector<IndexCache::ExportedPayload> IndexCache::ExportPermutedIndexes()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Fold the layered entries back into (identity, perm) payload units.
+  std::map<std::pair<const void*, std::string>, ExportedPayload> payloads;
+  auto slot = [&](const void* identity,
+                  const std::vector<int>& perm) -> ExportedPayload& {
+    ExportedPayload& p = payloads[{identity, SpecJoin(perm)}];
+    if (p.identity == nullptr) {
+      p.identity = identity;
+      p.perm = perm;
+    }
+    return p;
+  };
+  for (const auto& [key, entry] : entries_) {
+    if (!entry->ready || entry->meta == nullptr) continue;
+    const PermutedMeta& meta = *entry->meta;
+    ExportedPayload& p = slot(key.first, meta.perm);
+    p.lru_tick = std::max(p.lru_tick, entry->lru_tick);
+    switch (meta.kind) {
+      case PermutedMeta::kRows:
+        p.rows = std::static_pointer_cast<const Relation>(entry->artifact);
+        break;
+      case PermutedMeta::kTrie:
+        p.trie = std::static_pointer_cast<const Trie>(entry->artifact);
+        break;
+      case PermutedMeta::kBind:
+        p.bindings.push_back(Binding{meta.schema, /*with_trie=*/true});
+        break;
+      case PermutedMeta::kRel:
+        p.bindings.push_back(Binding{meta.schema, /*with_trie=*/false});
+        break;
+    }
+  }
+  std::vector<ExportedPayload> out;
+  out.reserve(payloads.size());
+  for (auto& [key, p] : payloads) {
+    // A bind/rel entry can outlive its physical layers only
+    // transiently (budget eviction); such orphans are not exportable.
+    if (p.rows != nullptr) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+bool IndexCache::AdoptEntryLocked(const Key& key,
+                                  std::shared_ptr<const void> pin,
+                                  std::shared_ptr<const void> artifact,
+                                  uint64_t bytes,
+                                  std::shared_ptr<const PermutedMeta> meta) {
+  if (entries_.count(key) != 0) return false;  // live entries win
+  auto entry = std::make_shared<Entry>();
+  entry->artifact = std::move(artifact);
+  entry->pin = std::move(pin);
+  entry->bytes = bytes;
+  entry->lru_tick = ++tick_;
+  entry->ready = true;
+  entry->mmap = true;
+  entry->meta = std::move(meta);
+  entries_[key] = entry;
+  stats_.resident_bytes += bytes;
+  return true;
+}
+
+Status IndexCache::AdoptPermuted(std::shared_ptr<const Relation> base,
+                                 const std::vector<int>& perm,
+                                 std::shared_ptr<const Relation> canon,
+                                 std::shared_ptr<const Trie> trie,
+                                 const std::vector<Binding>& bindings) {
+  if (base == nullptr || canon == nullptr) {
+    return Status::InvalidArgument("adopt needs a base and a payload");
+  }
+  if (static_cast<int>(perm.size()) != base->arity() ||
+      canon->arity() != base->arity()) {
+    return Status::InvalidArgument("adopt: permutation arity mismatch");
+  }
+  for (const Binding& b : bindings) {
+    if (b.schema.arity() != base->arity()) {
+      return Status::InvalidArgument("adopt: binding arity mismatch");
+    }
+    if (b.with_trie && trie == nullptr) {
+      return Status::InvalidArgument("adopt: trie-backed binding needs a trie");
+    }
+  }
+  if (trie != nullptr &&
+      (trie->arity() != base->arity() || trie->NumTuples() != canon->size())) {
+    return Status::InvalidArgument("adopt: trie does not match payload");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const void* identity = base.get();
+  {
+    auto meta = std::make_shared<PermutedMeta>();
+    meta->kind = PermutedMeta::kRows;
+    meta->perm = perm;
+    AdoptEntryLocked({identity, RowsSpec(perm)}, base, canon,
+                     canon->SizeBytes(), std::move(meta));
+  }
+  if (trie != nullptr) {
+    auto meta = std::make_shared<PermutedMeta>();
+    meta->kind = PermutedMeta::kTrie;
+    meta->perm = perm;
+    AdoptEntryLocked({identity, TrieSpec(perm)}, base, trie,
+                     trie->StorageValues() * sizeof(Value), std::move(meta));
+  }
+  for (const Binding& b : bindings) {
+    auto meta = std::make_shared<PermutedMeta>();
+    meta->perm = perm;
+    meta->schema = b.schema;
+    if (b.with_trie) {
+      meta->kind = PermutedMeta::kBind;
+      auto index = std::make_shared<PreparedIndex>();
+      index->rel = std::make_shared<const Relation>(
+          Relation::AliasSpan(b.schema, canon->raw(), canon));
+      index->trie = trie;
+      AdoptEntryLocked({identity, BindSpec(perm, b.schema)}, base, index,
+                       /*bytes=*/0, std::move(meta));
+    } else {
+      meta->kind = PermutedMeta::kRel;
+      auto rel = std::make_shared<const Relation>(
+          Relation::AliasSpan(b.schema, canon->raw(), canon));
+      AdoptEntryLocked({identity, RelSpec(perm, b.schema)}, base, rel,
+                       /*bytes=*/0, std::move(meta));
+    }
+  }
+  EnforceBudgetLocked();
+  return Status::OK();
 }
 
 bool IndexCache::SweepOnceLocked() {
@@ -241,6 +410,11 @@ void IndexCache::Clear() {
   entries_.clear();
 }
 
+void IndexCache::EnforceBudget() {
+  std::lock_guard<std::mutex> lock(mu_);
+  EnforceBudgetLocked();
+}
+
 void IndexCache::set_budget_bytes(uint64_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   budget_bytes_ = bytes;
@@ -261,6 +435,10 @@ IndexCache::Stats IndexCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats out = stats_;
   out.entries = entries_.size();
+  out.mmap_entries = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry->ready && entry->mmap) ++out.mmap_entries;
+  }
   return out;
 }
 

@@ -37,8 +37,10 @@ struct PreparedIndex {
 /// Per-call build accounting, threaded from a bind site up into the
 /// RunReport so "the second run built zero tries" is observable.
 struct IndexBuildStats {
-  uint64_t builds = 0;  // artifacts constructed by this consumer
-  uint64_t hits = 0;    // artifacts served from the cache
+  uint64_t builds = 0;     // artifacts constructed by this consumer
+  uint64_t hits = 0;       // artifacts served from the cache
+  uint64_t mmap_hits = 0;  // subset of hits served by snapshot-mapped
+                           // artifacts (persist warm restore)
 };
 
 /// Process-wide cache of index artifacts keyed by (relation identity,
@@ -75,15 +77,22 @@ struct IndexBuildStats {
 /// currently holds. (The serving layer additionally accounts the
 /// indexes *pinned* by cached prepared queries toward its own budget —
 /// see serve::PreparedQueryCache.)
+///
+/// Persistence: the permuted layers can round-trip through a snapshot.
+/// ExportPermutedIndexes() hands the writer every perm-keyed payload
+/// with its labelings; AdoptPermuted() re-seats payloads whose arrays
+/// view an mmap'ed snapshot, flagged so hits report as mmap-loaded.
 class IndexCache {
  public:
   struct Stats {
     uint64_t hits = 0;
+    uint64_t mmap_hits = 0;  // hits served by snapshot-mapped entries
     uint64_t builds = 0;
     uint64_t build_failures = 0;
     uint64_t evictions = 0;  // Sweep GC + budget evictions
     uint64_t resident_bytes = 0;
     uint64_t entries = 0;
+    uint64_t mmap_entries = 0;  // entries adopted from a snapshot
   };
 
   /// `budget_bytes` caps resident artifact bytes (0 = unbounded).
@@ -133,10 +142,55 @@ class IndexCache {
       std::shared_ptr<const Relation> base, const Schema& schema,
       const std::vector<int>& perm, IndexBuildStats* stats = nullptr);
 
+  /// One attribute labeling recorded for a persisted payload: the
+  /// schema it was bound under, and whether the binding was
+  /// trie-backed (GetPermuted) or trie-less (GetPermutedRelation).
+  struct Binding {
+    Schema schema;
+    bool with_trie = true;
+  };
+
+  /// One perm-keyed physical payload, with every labeling bound over
+  /// it — the unit the snapshot writer serializes.
+  struct ExportedPayload {
+    const void* identity = nullptr;       // base relation address
+    std::vector<int> perm;
+    std::shared_ptr<const Relation> rows;  // canonical permuted relation
+    std::shared_ptr<const Trie> trie;      // null if never trie-bound
+    std::vector<Binding> bindings;
+    uint64_t lru_tick = 0;  // hottest layer tick, for restore ordering
+  };
+
+  /// Snapshot of every resident permuted-index payload (rows / trie /
+  /// bind layers folded back together). Artifacts are shared, not
+  /// copied; identities are only meaningful to a caller that can map
+  /// them back to relations it holds (the catalog snapshot writer).
+  std::vector<ExportedPayload> ExportPermutedIndexes() const;
+
+  /// Re-seats one permuted payload loaded from a snapshot: `canon`
+  /// (sorted rows viewing mapped memory) and `trie` (FromMapped; may
+  /// be null if no binding needs it) are installed under the same keys
+  /// GetPermuted/GetPermutedRelation would build, flagged mmap so hits
+  /// report as mmap-loaded, plus one aliased entry per binding.
+  /// Existing entries win (adoption never clobbers); the byte budget
+  /// applies as usual. `base` must be the relation the payload was
+  /// exported from — in the restored catalog, not the saved one.
+  Status AdoptPermuted(std::shared_ptr<const Relation> base,
+                       const std::vector<int>& perm,
+                       std::shared_ptr<const Relation> canon,
+                       std::shared_ptr<const Trie> trie,
+                       const std::vector<Binding>& bindings);
+
   /// Garbage collection, run on every catalog generation bump: drops
   /// entries (iterating to a fixpoint, so derived entries chain) whose
   /// pin is held by nothing outside this cache.
   void Sweep();
+
+  /// Re-applies the byte budget (LRU eviction of entries no consumer
+  /// holds); no-op when unbounded. The snapshot loader calls this
+  /// after adoption, once its temporary handles are gone — entries
+  /// look in-use while the adopter still holds them.
+  void EnforceBudget();
 
   void Clear();
 
@@ -148,26 +202,51 @@ class IndexCache {
   Stats stats() const;
 
  private:
+  /// Structured key for permuted-layer entries, kept so the snapshot
+  /// writer can enumerate payloads without parsing spec strings.
+  struct PermutedMeta {
+    enum Kind { kRows, kTrie, kBind, kRel };
+    Kind kind = kRows;
+    std::vector<int> perm;
+    Schema schema;  // labeled layers only (kBind/kRel)
+  };
+
   struct Entry {
     std::shared_ptr<const void> artifact;  // null while building
     std::shared_ptr<const void> pin;
     uint64_t bytes = 0;
     uint64_t lru_tick = 0;
     bool ready = false;
+    bool mmap = false;  // adopted from a snapshot (arrays view the map)
+    std::shared_ptr<const PermutedMeta> meta;  // permuted layers only
   };
   using Key = std::pair<const void*, std::string>;
 
   /// Physical layers under GetPermuted/GetPermutedRelation: the
-  /// permuted sorted row payload and the trie over it, keyed by the
-  /// permutation alone (no attribute labeling). These tick cache-wide
-  /// stats but not the consumer's IndexBuildStats — the labeled
-  /// top-level artifact accounts for the consumer-visible hit/build.
-  StatusOr<std::shared_ptr<const std::vector<Value>>> GetPermutedRows(
+  /// canonical permuted relation (sorted row payload) and the trie
+  /// over it, keyed by the permutation alone (no attribute labeling).
+  /// These tick cache-wide stats but not the consumer's
+  /// IndexBuildStats — the labeled top-level artifact accounts for the
+  /// consumer-visible hit/build.
+  StatusOr<std::shared_ptr<const Relation>> GetPermutedRows(
       const std::shared_ptr<const Relation>& base, const Schema& schema,
       const std::vector<int>& perm);
   StatusOr<std::shared_ptr<const Trie>> GetPermutedTrie(
       const std::shared_ptr<const Relation>& base, const Schema& schema,
       const std::vector<int>& perm);
+
+  /// GetOrBuild plus permuted-layer bookkeeping (meta tag, mmap flag
+  /// forwarded from adopted builds).
+  StatusOr<std::shared_ptr<const void>> GetOrBuildTagged(
+      const void* identity, const std::string& spec,
+      std::shared_ptr<const void> pin, const BuildFn& build,
+      IndexBuildStats* stats, std::shared_ptr<const PermutedMeta> meta);
+
+  /// Installs a ready entry directly (snapshot adoption). No-op
+  /// returning false if the key is already present. Caller holds mu_.
+  bool AdoptEntryLocked(const Key& key, std::shared_ptr<const void> pin,
+                        std::shared_ptr<const void> artifact, uint64_t bytes,
+                        std::shared_ptr<const PermutedMeta> meta);
 
   /// Evicts LRU entries nobody currently holds until the budget is
   /// met. Caller holds mu_.

@@ -18,11 +18,14 @@ namespace adj::storage {
 /// the relation into the canonical (lexicographically sorted, unique)
 /// state the trie builder requires.
 ///
-/// A relation can also *alias* a shared row payload (AliasRows): reads
-/// go through the shared vector and cost no copy, which is how the
-/// index cache hands the same physical permutation to many attribute
-/// labelings. Mutation detaches (copy-on-write), so aliasing stays an
-/// implementation detail to callers.
+/// A relation can also *alias* an external row payload: reads go
+/// through a borrowed span and cost no copy. AliasRows shares another
+/// relation's heap vector (how the index cache hands one physical
+/// permutation to many attribute labelings); AliasSpan views arbitrary
+/// read-only memory kept alive by an opaque handle — in particular an
+/// mmap'ed snapshot segment, which is how persist loads relations with
+/// zero parsing. Mutation detaches (copy-on-write), so aliasing stays
+/// an implementation detail to callers.
 class Relation {
  public:
   Relation() = default;
@@ -33,7 +36,23 @@ class Relation {
   static Relation AliasRows(Schema schema,
                             std::shared_ptr<const std::vector<Value>> rows) {
     Relation r(std::move(schema));
-    r.shared_ = std::move(rows);
+    if (rows != nullptr) {
+      r.view_ = std::span<const Value>(rows->data(), rows->size());
+      r.keepalive_ = std::move(rows);
+    }
+    return r;
+  }
+
+  /// A relation whose rows view `rows` directly — typically a segment
+  /// of an mmap'ed snapshot. `keepalive` must own the viewed memory
+  /// (the persist::MappedFile, or the canonical Relation the span
+  /// belongs to) and is held for the alias's lifetime. Mutators
+  /// copy-on-write, exactly like AliasRows.
+  static Relation AliasSpan(Schema schema, std::span<const Value> rows,
+                            std::shared_ptr<const void> keepalive) {
+    Relation r(std::move(schema));
+    r.view_ = rows;
+    r.keepalive_ = std::move(keepalive);
     return r;
   }
 
@@ -82,38 +101,47 @@ class Relation {
   /// distributed sampler's database-reduction step.
   Relation SemiJoinFilter(int col, const std::vector<Value>& keep) const;
 
-  const std::vector<Value>& raw() const { return rows(); }
+  /// Flat row-major payload. A borrowed view for aliased (shared /
+  /// mmap-backed) relations; valid as long as this relation (and its
+  /// keepalive) live and no mutator runs.
+  std::span<const Value> raw() const { return rows(); }
   std::vector<Value>& mutable_raw() {
     Detach();
     return data_;
   }
 
   /// Identity of the row payload for dedup accounting: aliasing
-  /// relations built over the same shared vector report the same
+  /// relations built over the same physical buffer report the same
   /// pointer. Owned storage reports its own buffer.
   const void* RowsIdentity() const {
-    return shared_ ? static_cast<const void*>(shared_.get())
-                   : static_cast<const void*>(&data_);
+    return keepalive_ ? static_cast<const void*>(view_.data())
+                      : static_cast<const void*>(&data_);
   }
+
+  /// Whether reads go through a borrowed payload (AliasRows/AliasSpan)
+  /// rather than owned heap storage.
+  bool is_alias() const { return keepalive_ != nullptr; }
 
   std::string ToString(uint64_t max_rows = 16) const;
 
  private:
-  const std::vector<Value>& rows() const {
-    return shared_ ? *shared_ : data_;
+  std::span<const Value> rows() const {
+    return keepalive_ ? view_ : std::span<const Value>(data_);
   }
-  /// Copy-on-write: materialize the shared payload into owned storage
-  /// before any mutation.
+  /// Copy-on-write: materialize the borrowed payload into owned
+  /// storage before any mutation.
   void Detach() {
-    if (shared_) {
-      data_ = *shared_;
-      shared_.reset();
+    if (keepalive_) {
+      data_.assign(view_.begin(), view_.end());
+      view_ = {};
+      keepalive_.reset();
     }
   }
 
   Schema schema_;
   std::vector<Value> data_;
-  std::shared_ptr<const std::vector<Value>> shared_;
+  std::span<const Value> view_;
+  std::shared_ptr<const void> keepalive_;
 };
 
 }  // namespace adj::storage

@@ -14,7 +14,7 @@ Trie Trie::Build(const Relation& rel) {
   trie.levels_.resize(k);
   const uint64_t rows = rel.size();
   if (rows == 0) {
-    for (int l = 0; l + 1 < k; ++l) trie.levels_[l].child_begin = {0};
+    for (int l = 0; l + 1 < k; ++l) trie.levels_[l].child_store = {0};
     return trie;
   }
 
@@ -31,23 +31,23 @@ Trie Trie::Build(const Relation& rel) {
       Level& level = trie.levels_[l];
       if (l + 1 < k) {
         // This node's children start at the current end of level l+1.
-        level.child_begin.push_back(
-            static_cast<uint32_t>(trie.levels_[l + 1].values.size()));
+        level.child_store.push_back(
+            static_cast<uint32_t>(trie.levels_[l + 1].values_store.size()));
       }
-      level.values.push_back(row[l]);
+      level.values_store.push_back(row[l]);
     }
   }
   // Close the child ranges with one-past-the-end sentinels.
   for (int l = 0; l + 1 < k; ++l) {
-    trie.levels_[l].child_begin.push_back(
-        static_cast<uint32_t>(trie.levels_[l + 1].values.size()));
+    trie.levels_[l].child_store.push_back(
+        static_cast<uint32_t>(trie.levels_[l + 1].values_store.size()));
   }
   // Widest sibling range per level, so executors can size intersection
   // buffers at Run() without rescanning the index.
   trie.levels_[0].max_range_width =
-      static_cast<uint32_t>(trie.levels_[0].values.size());
+      static_cast<uint32_t>(trie.levels_[0].values_store.size());
   for (int l = 0; l + 1 < k; ++l) {
-    const std::vector<uint32_t>& begin = trie.levels_[l].child_begin;
+    const std::vector<uint32_t>& begin = trie.levels_[l].child_store;
     uint32_t widest = 0;
     for (size_t i = 0; i + 1 < begin.size(); ++i) {
       widest = std::max(widest, begin[i + 1] - begin[i]);
@@ -57,16 +57,105 @@ Trie Trie::Build(const Relation& rel) {
   return trie;
 }
 
+StatusOr<Trie> Trie::FromMapped(std::vector<MappedLevel> levels,
+                                std::shared_ptr<const void> keepalive) {
+  Trie trie;
+  const int k = static_cast<int>(levels.size());
+  trie.levels_.resize(k);
+  // Structural validation: this is the trust boundary between bytes on
+  // disk and the unchecked index arithmetic of the join inner loop, so
+  // every offset a mapped trie can produce is range-checked here once.
+  for (int l = 0; l < k; ++l) {
+    const MappedLevel& in = levels[l];
+    const size_t n = in.values.size();
+    if (n > UINT32_MAX) {
+      return Status::InvalidArgument("mapped trie level " + std::to_string(l) +
+                                     " exceeds 2^32 entries");
+    }
+    if (l + 1 < k) {
+      if (in.child_begin.size() != n + 1) {
+        return Status::InvalidArgument(
+            "mapped trie level " + std::to_string(l) +
+            ": child_begin size " + std::to_string(in.child_begin.size()) +
+            " != values+1 (" + std::to_string(n + 1) + ")");
+      }
+      const size_t next_n = levels[l + 1].values.size();
+      if (in.child_begin.front() != 0 || in.child_begin.back() != next_n) {
+        return Status::InvalidArgument(
+            "mapped trie level " + std::to_string(l) +
+            ": child offsets do not cover the next level");
+      }
+      for (size_t i = 0; i + 1 < in.child_begin.size(); ++i) {
+        if (in.child_begin[i] > in.child_begin[i + 1]) {
+          return Status::InvalidArgument("mapped trie level " +
+                                         std::to_string(l) +
+                                         ": child offsets not monotone");
+        }
+        // Non-root nodes must have at least one child: every trie node
+        // lies on a root-to-leaf tuple path.
+        if (in.child_begin[i] == in.child_begin[i + 1] && n > 0) {
+          return Status::InvalidArgument(
+              "mapped trie level " + std::to_string(l) + ": childless node");
+        }
+      }
+    } else if (!in.child_begin.empty()) {
+      return Status::InvalidArgument(
+          "mapped trie: deepest level has a child array");
+    }
+    // Sibling runs must be strictly sorted — Seek/FindInRange's
+    // galloping search assumes it.
+    if (l == 0) {
+      for (size_t i = 0; i + 1 < n; ++i) {
+        if (in.values[i] >= in.values[i + 1]) {
+          return Status::InvalidArgument(
+              "mapped trie level 0: values not strictly sorted");
+        }
+      }
+    } else {
+      std::span<const uint32_t> parent = levels[l - 1].child_begin;
+      for (size_t p = 0; p + 1 < parent.size(); ++p) {
+        for (uint32_t i = parent[p]; i + 1 < parent[p + 1]; ++i) {
+          if (in.values[i] >= in.values[i + 1]) {
+            return Status::InvalidArgument(
+                "mapped trie level " + std::to_string(l) +
+                ": sibling run not strictly sorted");
+          }
+        }
+      }
+    }
+    Level& out = trie.levels_[l];
+    out.values_map = in.values;
+    out.child_map = in.child_begin;
+    out.mapped = true;
+  }
+  // Recompute max-range widths from the validated offsets rather than
+  // trusting stored values.
+  if (k > 0) {
+    trie.levels_[0].max_range_width =
+        static_cast<uint32_t>(levels[0].values.size());
+    for (int l = 0; l + 1 < k; ++l) {
+      std::span<const uint32_t> begin = levels[l].child_begin;
+      uint32_t widest = 0;
+      for (size_t i = 0; i + 1 < begin.size(); ++i) {
+        widest = std::max(widest, begin[i + 1] - begin[i]);
+      }
+      trie.levels_[l + 1].max_range_width = widest;
+    }
+  }
+  trie.keepalive_ = std::move(keepalive);
+  return trie;
+}
+
 uint64_t Trie::StorageValues() const {
   uint64_t total = 0;
   for (const Level& level : levels_) {
-    total += level.values.size() + level.child_begin.size();
+    total += level.vals().size() + level.kids().size();
   }
   return total;
 }
 
 uint32_t Trie::SeekInRange(int level, Range r, Value v) const {
-  const std::vector<Value>& vals = levels_[level].values;
+  std::span<const Value> vals = levels_[level].vals();
   uint32_t lo = r.lo;
   uint32_t hi = r.hi;
   if (lo >= hi || vals[lo] >= v) return lo;
@@ -94,7 +183,7 @@ uint32_t Trie::SeekInRange(int level, Range r, Value v) const {
 
 uint32_t Trie::FindInRange(int level, Range r, Value v) const {
   uint32_t idx = SeekInRange(level, r, v);
-  if (idx < r.hi && levels_[level].values[idx] == v) return idx;
+  if (idx < r.hi && levels_[level].vals()[idx] == v) return idx;
   return r.hi;
 }
 
@@ -103,8 +192,9 @@ std::string Trie::ToString() const {
   for (int l = 0; l < arity(); ++l) {
     if (l > 0) out += "; ";
     out += "L" + std::to_string(l) + "[" +
-           std::to_string(levels_[l].values.size()) + "]";
+           std::to_string(levels_[l].vals().size()) + "]";
   }
+  if (mmap_backed()) out += " mmap";
   out += "}";
   return out;
 }

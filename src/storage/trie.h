@@ -2,10 +2,12 @@
 #define ADJ_STORAGE_TRIE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "storage/relation.h"
 
 namespace adj::storage {
@@ -22,6 +24,11 @@ namespace adj::storage {
 ///
 /// A "node" at level l is identified by its index into values(l); a
 /// set of siblings is a half-open index range [lo, hi).
+///
+/// A trie either owns its arrays (Build) or views arrays living in
+/// externally owned memory (FromMapped) — typically a persist snapshot
+/// mapped into the process. Readers cannot tell the difference except
+/// through mmap_backed(); every accessor goes through the same spans.
 class Trie {
  public:
   /// Range of sibling indexes within one level.
@@ -32,38 +39,66 @@ class Trie {
     bool empty() const { return lo >= hi; }
   };
 
+  /// One level of an externally stored trie: spans into memory the
+  /// caller guarantees outlives the Trie (via the keepalive handle).
+  /// `child_begin` must be empty for the deepest level and have size
+  /// values.size()+1 otherwise.
+  struct MappedLevel {
+    std::span<const Value> values;
+    std::span<const uint32_t> child_begin;
+  };
+
   Trie() = default;
 
   /// Builds from `rel`, which must be sorted and duplicate-free
   /// (Relation::SortAndDedup). O(rows * arity).
   static Trie Build(const Relation& rel);
 
+  /// Wraps externally stored level arrays (e.g. segments of an mmap'ed
+  /// snapshot) without copying. Validates the CSR structure — sizes,
+  /// offset monotonicity, child bounds, sorted sibling runs — and
+  /// returns kInvalidArgument on any violation, so a corrupt snapshot
+  /// surfaces as a Status instead of UB in the join inner loop.
+  /// `keepalive` must own the viewed memory and is held for the trie's
+  /// lifetime. max-range widths are recomputed, not trusted.
+  static StatusOr<Trie> FromMapped(std::vector<MappedLevel> levels,
+                                   std::shared_ptr<const void> keepalive);
+
+  /// True when the level arrays view externally owned (mapped) memory
+  /// rather than heap storage built by Build.
+  bool mmap_backed() const { return keepalive_ != nullptr; }
+
   int arity() const { return static_cast<int>(levels_.size()); }
-  bool empty() const { return arity() == 0 || levels_[0].values.empty(); }
+  bool empty() const { return arity() == 0 || levels_[0].vals().empty(); }
 
   /// Number of tuples represented (size of the deepest level).
   uint64_t NumTuples() const {
-    return levels_.empty() ? 0 : levels_.back().values.size();
+    return levels_.empty() ? 0 : levels_.back().vals().size();
   }
 
   /// Total values stored across all levels ("three arrays" payload).
   uint64_t StorageValues() const;
 
   std::span<const Value> values(int level) const {
-    return levels_[level].values;
+    return levels_[level].vals();
   }
 
   /// Flat view over one whole level — the array the intersection
   /// kernels index into.
   std::span<const Value> LevelSpan(int level) const {
-    return levels_[level].values;
+    return levels_[level].vals();
+  }
+
+  /// CSR child-offset array of one level (size values+1; empty for the
+  /// deepest level). This is what the snapshot writer serializes.
+  std::span<const uint32_t> ChildBeginSpan(int level) const {
+    return levels_[level].kids();
   }
 
   /// A sibling range as a flat span (kernel input). Positions a kernel
   /// emits are relative to the span, i.e. to r.lo.
   std::span<const Value> RangeSpan(int level, Range r) const {
-    return std::span<const Value>(levels_[level].values).subspan(r.lo,
-                                                                 r.size());
+    return levels_[level].vals().subspan(r.lo, r.size());
   }
 
   /// Largest sibling-range width at `level` (level 0: the root range
@@ -77,17 +112,17 @@ class Trie {
   Range RootRange() const {
     return {0, static_cast<uint32_t>(levels_.empty()
                                          ? 0
-                                         : levels_[0].values.size())};
+                                         : levels_[0].vals().size())};
   }
 
   /// Children of entry `idx` of `level` as a range in level+1.
   Range ChildRange(int level, uint32_t idx) const {
-    const auto& begin = levels_[level].child_begin;
+    std::span<const uint32_t> begin = levels_[level].kids();
     return {begin[idx], begin[idx + 1]};
   }
 
   Value ValueAt(int level, uint32_t idx) const {
-    return levels_[level].values[idx];
+    return levels_[level].vals()[idx];
   }
 
   /// First index in [r.lo, r.hi) whose value is >= v, or r.hi if none.
@@ -102,14 +137,30 @@ class Trie {
   std::string ToString() const;
 
  private:
+  /// A level either owns its arrays (`*_store`, mapped == false) or
+  /// views external memory (`*_map`, mapped == true). The two cases
+  /// never mix, so default copy/move stay safe: spans never point into
+  /// the level's own vectors.
   struct Level {
-    std::vector<Value> values;
-    // Size values.size()+1; absent (empty) for the deepest level.
-    std::vector<uint32_t> child_begin;
-    // Widest sibling range within this level (level 0: values.size()).
+    std::vector<Value> values_store;
+    // Size values+1; absent (empty) for the deepest level.
+    std::vector<uint32_t> child_store;
+    std::span<const Value> values_map;
+    std::span<const uint32_t> child_map;
+    bool mapped = false;
+    // Widest sibling range within this level (level 0: values size).
     uint32_t max_range_width = 0;
+
+    std::span<const Value> vals() const {
+      return mapped ? values_map : std::span<const Value>(values_store);
+    }
+    std::span<const uint32_t> kids() const {
+      return mapped ? child_map : std::span<const uint32_t>(child_store);
+    }
   };
   std::vector<Level> levels_;
+  // Owns the memory behind mapped levels; null for built tries.
+  std::shared_ptr<const void> keepalive_;
 };
 
 }  // namespace adj::storage

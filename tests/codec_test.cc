@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -55,7 +56,7 @@ TEST(RelationBlockTest, RoundTripRandom) {
   std::vector<uint8_t> buf = EncodeRelationBlock(rel);
   auto decoded = DecodeRelationBlock(buf, rel.schema());
   ASSERT_TRUE(decoded.ok());
-  EXPECT_EQ(decoded->raw(), rel.raw());
+  EXPECT_TRUE(std::ranges::equal(decoded->raw(), rel.raw()));
 }
 
 TEST(RelationBlockTest, RoundTripWideRows) {
@@ -70,7 +71,7 @@ TEST(RelationBlockTest, RoundTripWideRows) {
   std::vector<uint8_t> buf = EncodeRelationBlock(rel);
   auto decoded = DecodeRelationBlock(buf, rel.schema());
   ASSERT_TRUE(decoded.ok());
-  EXPECT_EQ(decoded->raw(), rel.raw());
+  EXPECT_TRUE(std::ranges::equal(decoded->raw(), rel.raw()));
 }
 
 TEST(RelationBlockTest, EmptyRelation) {
@@ -111,7 +112,7 @@ TEST(TrieBlockTest, RoundTripViaRelation) {
   std::vector<uint8_t> buf = EncodeTrieBlock(trie);
   auto decoded = DecodeTrieBlockToRelation(buf, rel.schema());
   ASSERT_TRUE(decoded.ok());
-  EXPECT_EQ(decoded->raw(), rel.raw());
+  EXPECT_TRUE(std::ranges::equal(decoded->raw(), rel.raw()));
 }
 
 TEST(TrieBlockTest, TernaryTrieRoundTrip) {
@@ -126,7 +127,7 @@ TEST(TrieBlockTest, TernaryTrieRoundTrip) {
   auto decoded = DecodeTrieBlockToRelation(EncodeTrieBlock(trie),
                                            rel.schema());
   ASSERT_TRUE(decoded.ok());
-  EXPECT_EQ(decoded->raw(), rel.raw());
+  EXPECT_TRUE(std::ranges::equal(decoded->raw(), rel.raw()));
 }
 
 TEST(TrieBlockTest, SmallerThanTupleBlockOnSharedPrefixes) {

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include <tuple>
@@ -183,8 +184,8 @@ TEST(HCubeTest, AccountingInvariants) {
   // Identical shard contents across variants.
   for (int s = 0; s < cfg.num_servers; ++s) {
     for (size_t a = 0; a < 3; ++a) {
-      EXPECT_EQ(c_push.shard(s).atoms[a]->raw(), c_merge.shard(s).atoms[a]->raw());
-      EXPECT_EQ(c_pull.shard(s).atoms[a]->raw(), c_merge.shard(s).atoms[a]->raw());
+      EXPECT_TRUE(std::ranges::equal(c_push.shard(s).atoms[a]->raw(), c_merge.shard(s).atoms[a]->raw()));
+      EXPECT_TRUE(std::ranges::equal(c_pull.shard(s).atoms[a]->raw(), c_merge.shard(s).atoms[a]->raw()));
     }
   }
 }

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -68,7 +69,7 @@ TEST(EdgeListIoTest, SaveLoadRoundTrip) {
   ASSERT_TRUE(SaveEdgeList(original, path).ok());
   auto loaded = LoadEdgeList(path);
   ASSERT_TRUE(loaded.ok());
-  EXPECT_EQ(loaded->raw(), original.raw());
+  EXPECT_TRUE(std::ranges::equal(loaded->raw(), original.raw()));
   std::remove(path.c_str());
 }
 

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -156,7 +157,7 @@ TEST(ThreadedHCubeJTest, CollectedOutputOrderIndependent) {
   storage::Relation b = std::move(par->results);
   a.SortAndDedup();
   b.SortAndDedup();
-  EXPECT_EQ(a.raw(), b.raw());
+  EXPECT_TRUE(std::ranges::equal(a.raw(), b.raw()));
 }
 
 }  // namespace

@@ -235,7 +235,7 @@ TEST(LeapfrogTest, EmitMatchesNaiveTuples) {
   auto naive = NaiveJoin(*q, db);
   ASSERT_TRUE(naive.ok());
   ASSERT_EQ(collected.size(), naive->size());
-  EXPECT_EQ(collected.raw(), naive->raw());
+  EXPECT_TRUE(std::ranges::equal(collected.raw(), naive->raw()));
 }
 
 /// Equivalence sweep: Leapfrog == NaiveJoin for every benchmark query
