@@ -10,6 +10,12 @@
 //     --save PATH       after the query runs, snapshot the catalog —
 //                       including the indexes the query just warmed —
 //                       so the next `adj_cli --load PATH` starts warm
+//     --insert R:a,b    queue a tuple insert into relation R; repeat
+//                       freely — all queued writes are applied as ONE
+//                       atomic storage::WriteBatch before the query,
+//                       extending R's delta chain (cached/mapped
+//                       indexes are delta-patched, not rebuilt)
+//     --remove R:a,b    queue a tombstone, same batch semantics
 //     --servers N       simulated servers (default 4)
 //     --strategy NAME   any registered strategy (default ADJ); the cli
 //                       itself registers "Yannakakis" at startup to
@@ -22,6 +28,8 @@
 //   adj_cli --strategy Yannakakis "G(a,b) G(b,c) G(a,c)"
 //   adj_cli --graph my.txt "G(a,b) G(b,c) | a=7 | c"
 #include <cstdio>
+#include <cstdlib>
+#include <vector>
 #include <cstring>
 #include <string>
 
@@ -71,6 +79,29 @@ std::string KnownStrategies() {
   return out;
 }
 
+// Parses "R:v1,v2,..." (as taken by --insert / --remove) into a
+// relation name and tuple. Returns false on malformed specs.
+bool ParseTupleSpec(const std::string& spec, std::string* relation,
+                    std::vector<adj::Value>* tuple) {
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  *relation = spec.substr(0, colon);
+  tuple->clear();
+  size_t pos = colon + 1;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    if (comma == pos) return false;
+    char* end = nullptr;
+    const unsigned long long v =
+        std::strtoull(spec.c_str() + pos, &end, 10);
+    if (end != spec.c_str() + comma) return false;
+    tuple->push_back(static_cast<adj::Value>(v));
+    pos = comma + 1;
+  }
+  return !tuple->empty();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -87,6 +118,7 @@ int main(int argc, char** argv) {
   double scale = 0.2;
   int servers = 4;
   bool explain = false;
+  storage::WriteBatch writes;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -95,6 +127,18 @@ int main(int argc, char** argv) {
     };
     if (arg == "--graph") {
       graph_path = next();
+    } else if (arg == "--insert" || arg == "--remove") {
+      std::string relation;
+      std::vector<Value> tuple;
+      if (!ParseTupleSpec(next(), &relation, &tuple)) {
+        std::fprintf(stderr, "%s expects R:v1,v2,...\n", arg.c_str());
+        return 2;
+      }
+      if (arg == "--insert") {
+        writes.Insert(std::move(relation), std::move(tuple));
+      } else {
+        writes.Delete(std::move(relation), std::move(tuple));
+      }
     } else if (arg == "--load") {
       load_path = next();
     } else if (arg == "--save") {
@@ -168,6 +212,25 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!writes.empty()) {
+    // One atomic batch: a validation failure (unknown relation, arity
+    // mismatch) applies nothing. Tuple writes extend the targets'
+    // delta chains; snapshot-mapped bases stay mapped.
+    const size_t ops = writes.size();
+    Status applied = db.Apply(writes);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "write error: %s\n", applied.ToString().c_str());
+      return 1;
+    }
+    std::printf("applied %llu write op(s)",
+                static_cast<unsigned long long>(ops));
+    for (const std::string& name : writes.TouchedNames()) {
+      std::printf("  %s@v%llu", name.c_str(),
+                  static_cast<unsigned long long>(db.relation_version(name)));
+    }
+    std::printf("\n");
+  }
+
   api::Session session = db.OpenSession();
   session.options().cluster.num_servers = servers;
   session.options().num_samples = 500;
@@ -221,6 +284,11 @@ int main(int argc, char** argv) {
   if (result.index_mmap_loaded() > 0) {
     std::printf("  [%llu bindings served by snapshot-mapped indexes]",
                 static_cast<unsigned long long>(result.index_mmap_loaded()));
+  }
+  if (result.index_patched() > 0) {
+    std::printf("  [%llu bindings delta-patched, %llu delta rows merged]",
+                static_cast<unsigned long long>(result.index_patched()),
+                static_cast<unsigned long long>(result.delta_rows_merged()));
   }
   std::printf("\n");
   if (!save_path.empty()) {

@@ -29,7 +29,9 @@ int main() {
 
   Rng rng(99);
   storage::Catalog db;
-  db.Put("G", dataset::ZipfGraph(1500, 20000, 0.9, rng));
+  storage::WriteBatch setup;
+  setup.Create("G", dataset::ZipfGraph(1500, 20000, 0.9, rng));
+  if (!db.Apply(setup).ok()) return 1;
 
   const char* queries[] = {
       "G(a,b) G(b,c)",                         // path (easy)

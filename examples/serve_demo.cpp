@@ -4,8 +4,9 @@
 //   1. cache miss → hit (the second request for a query text reports
 //      optimize_s = precompute_s = 0),
 //   2. batch + single admission interleaving on the worker pool,
-//   3. catalog reload → generation bump → cached plan invalidated
-//      (no stale results),
+//   3. a live write through Server::Apply → the touched relation's
+//      version bumps → the cached plan over it is refreshed in place
+//      (Reprepare, no re-planning, no stale results),
 //   4. a deadline too tight to meet → DeadlineExceeded,
 //   5. an admission queue at capacity → ResourceExhausted backpressure.
 //
@@ -68,20 +69,30 @@ int main() {
   for (auto& f : *batch) Show("batch", f.get());
   Show("single", single->get());
 
-  // 3. Reload invalidation: replacing "G" bumps the catalog
-  //    generation, so the cached triangle plan is dropped rather than
-  //    served stale — the count reflects the new graph.
-  std::printf("-- catalog reload invalidates the cache --\n");
-  server.Drain();  // quiesce before mutating the database
+  // 3. Live writes: Server::Apply needs no Pause/Drain — a
+  //    reader/writer lock serializes the batch against in-flight
+  //    requests. Replacing "G" bumps its per-relation version, so the
+  //    cached triangle plan over it is refreshed rather than served
+  //    stale — the count reflects the new graph — while plans over
+  //    untouched relations would keep hitting.
+  std::printf("-- live write invalidates exactly the touched plans --\n");
   Rng rng2(7);
-  server.database().AddRelation("G", dataset::Rmat(params, 9000, rng2));
+  storage::WriteBatch reload;
+  reload.Create("G", dataset::Rmat(params, 9000, rng2));
+  if (!server.Apply(reload).ok()) {
+    std::fprintf(stderr, "write failed unexpectedly\n");
+    return 1;
+  }
   api::Result fresh = server.Execute(kTriangle);
   Show("fresh", fresh);
   serve::ServerStats stats = server.stats();
-  std::printf("  cache: %llu hits, %llu misses, %llu invalidations\n",
-              (unsigned long long)stats.cache.hits,
-              (unsigned long long)stats.cache.misses,
-              (unsigned long long)stats.cache.invalidations);
+  std::printf(
+      "  cache: %llu hits, %llu misses, %llu invalidations; "
+      "%llu writes applied\n",
+      (unsigned long long)stats.cache.hits,
+      (unsigned long long)stats.cache.misses,
+      (unsigned long long)stats.cache.invalidations,
+      (unsigned long long)stats.writes_applied);
 
   // 4. Deadlines: a budget no join can meet — the request completes
   //    with DeadlineExceeded (a per-request wcoj::JoinLimits cap), a

@@ -24,11 +24,13 @@ class Session;
 /// Thread-safety: const access (catalog reads, OpenSession, running
 /// queries through sessions) is safe from any number of threads,
 /// because everything reachable through the catalog is immutable. The
-/// load methods are the only writers: loading while any session or
-/// server is executing queries is a data race — quiesce first
-/// (serve::Server::Drain, or simply don't run queries concurrently
-/// with loads). Every load bumps generation(), which is how plan
-/// caches detect that their entries went stale across a reload.
+/// load methods and Apply are the writers: writing while any session
+/// or server is executing queries is a data race — quiesce first
+/// (serve::Server::Apply does this with a reader/writer lock; outside
+/// a server, simply don't run queries concurrently with writes). Every
+/// write advances the touched relations' relation_version()s (and the
+/// coarse generation()), which is how plan caches detect exactly which
+/// entries went stale.
 class Database {
  public:
   Database() : catalog_(std::make_shared<storage::Catalog>()) {}
@@ -51,8 +53,36 @@ class Database {
   Status LoadEdgeList(const std::string& path, const std::string& as = "G");
 
   /// Registers an already-built relation (replacing any previous
-  /// binding of `name`).
+  /// binding of `name`). Equivalent to a one-op WriteBatch with
+  /// Create(name, rel) — prefer Apply for anything beyond a single
+  /// full replacement.
   void AddRelation(const std::string& name, storage::Relation rel);
+
+  /// The write API: applies `batch` — tuple inserts, tombstones, full
+  /// creates, aliases — atomically. Validation happens before any
+  /// mutation, so a failed Apply leaves the database untouched; on
+  /// success every touched relation's relation_version() advances and
+  /// untouched relations (and every index and prepared plan bound to
+  /// them) stay exactly as they were. Tuple writes land as delta
+  /// batches on the relation's immutable base: readers see the merged
+  /// ("effective") relation immediately, while cached indexes of the
+  /// pre-write version are delta-patched on their next bind instead of
+  /// rebuilt (see storage::Catalog and docs/UPDATES.md).
+  ///
+  /// Thread-safety matches the load methods: Apply is a writer — do
+  /// not run it concurrently with query execution. serve::Server::Apply
+  /// is the synchronized form for a live server.
+  Status Apply(const storage::WriteBatch& batch) {
+    return catalog_->Apply(batch);
+  }
+
+  /// Accumulated delta rows at which a written relation folds its
+  /// pending chain into a new base (storage::Catalog compaction,
+  /// default 4096). A write-workload tuning knob: lower trades merge
+  /// work on reads for more frequent O(base) folds.
+  void set_delta_compact_threshold(uint64_t rows) {
+    catalog_->set_delta_compact_threshold(rows);
+  }
 
   /// Serializes the catalog into a versioned, checksummed snapshot:
   /// every relation plus every resident permuted-index artifact of
@@ -76,11 +106,20 @@ class Database {
   std::vector<std::string> relation_names() const;
   uint64_t total_tuples() const;
 
-  /// The catalog's mutation counter — bumped by every load/add above.
-  /// Plans and ExecutionContexts built while generation() == g remain
-  /// valid exactly as long as it still equals g (see
-  /// storage::Catalog::generation and serve::PreparedQueryCache).
+  /// The catalog's coarse mutation counter — bumped by every load/add/
+  /// Apply above. Kept for whole-catalog observers; per-relation
+  /// staleness questions should use relation_version() instead, which
+  /// is what lets caches survive writes to relations they don't read.
   uint64_t generation() const { return catalog_->generation(); }
+
+  /// The version of `name`'s current binding (0 if absent): advances
+  /// exactly when a write changes the relation's content or rebinds
+  /// the name. A prepared plan is fresh iff every relation it reads
+  /// still has the version it was prepared at (see
+  /// PreparedQuery::dependency_versions and serve::PreparedQueryCache).
+  uint64_t relation_version(const std::string& name) const {
+    return catalog_->VersionOf(name);
+  }
 
   /// A session with default options; customize via Session::options().
   Session OpenSession() const;

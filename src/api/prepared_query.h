@@ -2,6 +2,7 @@
 #define ADJ_API_PREPARED_QUERY_H_
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -48,8 +49,21 @@ class PreparedQuery {
   const std::string& explanation() const { return planned_.explanation; }
 
   /// One-time planning cost paid at Prepare time (plan search +
-  /// sampling, wall clock).
+  /// sampling, wall clock). 0 after Session::Reprepare — a refresh
+  /// reuses the stored plan instead of searching again.
   double planning_seconds() const { return planned_.optimize_s; }
+
+  /// The catalog relations this plan reads, each with the
+  /// relation_version() it was prepared against — the plan's freshness
+  /// certificate. The plan remains valid exactly as long as every
+  /// listed name still has its listed version; a write to any other
+  /// relation cannot stale it. serve::PreparedQueryCache validates
+  /// entries against this map (per-relation, not per-generation), and
+  /// Session::Reprepare uses the mismatched names to refresh only the
+  /// delta-proportional part of the context.
+  const std::map<std::string, uint64_t>& dependency_versions() const {
+    return dep_versions_;
+  }
 
   /// Memory this prepared query keeps resident between runs as
   /// measured at Prepare time: the bound-atom index artifacts its
@@ -81,19 +95,28 @@ class PreparedQuery {
 
   friend class Session;
 
-  PreparedQuery(query::Query query, uint64_t selection_filtered,
+  PreparedQuery(core::SpjQuery spj, query::Query query,
+                uint64_t selection_filtered,
+                std::map<std::string, uint64_t> dep_versions,
                 core::PlanResult planned,
                 std::shared_ptr<const core::ExecutionContext> ctx,
                 core::EngineOptions options)
-      : query_(std::move(query)),
+      : spj_(std::move(spj)),
+        query_(std::move(query)),
         selection_filtered_(selection_filtered),
+        dep_versions_(std::move(dep_versions)),
         planned_(std::move(planned)),
         ctx_(std::move(ctx)),
         options_(std::move(options)),
         prepared_(true) {}
 
+  // The original parsed SPJ query (pre-push-down) — what Reprepare
+  // re-pushes selections from after a write.
+  core::SpjQuery spj_;
   query::Query query_;
   uint64_t selection_filtered_ = 0;
+  // Source-catalog relation name -> relation_version() at Prepare.
+  std::map<std::string, uint64_t> dep_versions_;
   core::PlanResult planned_;
   // Built once at Prepare time and shared across copies: everything a
   // run needs — the execution catalog's aliased entries co-own their

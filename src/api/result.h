@@ -69,6 +69,14 @@ class Result {
   /// mmap-loaded from a snapshot (api::Database::Open) instead of
   /// built in this process — nonzero right after a warm restart.
   uint64_t index_mmap_loaded() const { return run_.report.index_mmap; }
+  /// Write provenance: bindings served by delta-patching a cached
+  /// index of the pre-write relation version instead of rebuilding it,
+  /// and how many delta rows those patches merged. After a
+  /// single-relation write, a reprepared query's run reports
+  /// index_builds() == 0 with index_patched() > 0 — writes cost
+  /// delta-proportional merge work, never a rebuild (docs/UPDATES.md).
+  uint64_t index_patched() const { return run_.report.index_patched; }
+  uint64_t delta_rows_merged() const { return run_.report.delta_rows_merged; }
 
   /// Intersection-kernel accounting for this run: 2-way intersections
   /// served by a SIMD kernel (SSE4.2/AVX2) vs the scalar galloping

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <functional>
+#include <map>
+#include <set>
 #include <thread>
 
 #include "core/engine.h"
@@ -38,6 +40,16 @@ StatusOr<PreparedQuery> Session::Prepare(const std::string& query_text) const {
     return Status::InvalidArgument(
         "prepared queries do not support proper projections yet; "
         "run the projecting query through Session::Run");
+  }
+
+  // The plan's freshness certificate: every relation the query reads,
+  // at the version it has right now. A later write bumps the touched
+  // names' versions, which is how caches (and Reprepare) see exactly
+  // which prepared queries it staled.
+  std::map<std::string, uint64_t> deps;
+  for (int i = 0; i < spj->join.num_atoms(); ++i) {
+    const std::string& name = spj->join.atom(i).relation;
+    deps[name] = db_->VersionOf(name);
   }
 
   // Selections are pushed down once, here, into a catalog the prepared
@@ -88,9 +100,81 @@ StatusOr<PreparedQuery> Session::Prepare(const std::string& query_text) const {
       " (runtime CPU dispatch; join loops run allocation-free out of a "
       "per-executor arena)\n";
   return PreparedQuery(
-      std::move(join), filtered, std::move(planned.value()),
+      std::move(spj.value()), std::move(join), filtered, std::move(deps),
+      std::move(planned.value()),
       std::make_shared<const core::ExecutionContext>(std::move(ctx.value())),
       options_);
+}
+
+bool Session::IsFresh(const PreparedQuery& prepared) const {
+  for (const auto& [name, version] : prepared.dep_versions_) {
+    if (db_->VersionOf(name) != version) return false;
+  }
+  return true;
+}
+
+StatusOr<PreparedQuery> Session::Reprepare(const PreparedQuery& stale) const {
+  if (!stale.prepared_) {
+    return Status::InvalidArgument(
+        "cannot reprepare a default-constructed PreparedQuery");
+  }
+  // Which of the plan's dependencies moved since it was prepared?
+  std::set<std::string> changed;
+  std::map<std::string, uint64_t> deps;
+  for (const auto& [name, version] : stale.dep_versions_) {
+    const uint64_t now = db_->VersionOf(name);
+    deps[name] = now;
+    if (now != version) changed.insert(name);
+  }
+  if (changed.empty()) return stale;  // still fresh — share everything
+
+  // Re-push selections, re-scanning only the written relations; the
+  // untouched atoms' filtered copies are aliased from the stale
+  // context so their cached indexes keep binding by identity.
+  const core::SpjQuery& spj = stale.spj_;
+  std::shared_ptr<const storage::Catalog> db = db_;
+  query::Query join = spj.join;
+  uint64_t filtered = 0;
+  if (!spj.selections.empty()) {
+    core::PushDownReuse push_reuse;
+    push_reuse.prev = stale.ctx_ != nullptr ? &stale.ctx_->db : nullptr;
+    push_reuse.changed = &changed;
+    StatusOr<core::PushedDown> pushed =
+        core::PushDownSelections(*db_, spj, &push_reuse);
+    if (!pushed.ok()) return pushed.status();
+    filtered = pushed->filtered;
+    join = std::move(pushed->query);
+    db = std::make_shared<const storage::Catalog>(std::move(pushed->catalog));
+  }
+
+  // Rebuild the execution context under the *stored* plan — no GHD
+  // search, no sampling. Bags fed only by unchanged relations are
+  // aliased from the stale context; the changed names (mapped through
+  // the push-down rename, which the rewritten join preserves
+  // atom-by-atom) force re-materialization of exactly the bags the
+  // write feeds.
+  core::Engine::PrepareReuse reuse;
+  reuse.prev = stale.ctx_.get();
+  for (int i = 0; i < spj.join.num_atoms(); ++i) {
+    if (changed.count(spj.join.atom(i).relation) > 0) {
+      reuse.changed.insert(join.atom(i).relation);
+    }
+  }
+
+  core::Engine engine(db.get());
+  core::PlanResult planned = stale.planned_;  // the plan is reused verbatim
+  planned.optimize_s = 0.0;
+  StatusOr<core::ExecutionContext> ctx =
+      engine.PrepareExecution(join, planned.plan, stale.options_, &reuse);
+  if (!ctx.ok()) return ctx.status();
+  planned.explanation +=
+      "reprepared: " + std::to_string(changed.size()) +
+      " changed relation(s); plan reused, unchanged bags aliased, "
+      "changed-relation indexes refresh by delta patching\n";
+  return PreparedQuery(
+      spj, std::move(join), filtered, std::move(deps), std::move(planned),
+      std::make_shared<const core::ExecutionContext>(std::move(ctx.value())),
+      stale.options_);
 }
 
 std::vector<Result> Session::RunBatch(const std::vector<BatchQuery>& queries,

@@ -72,6 +72,25 @@ class Session {
   /// repeated execution — see PreparedQuery.
   StatusOr<PreparedQuery> Prepare(const std::string& query_text) const;
 
+  /// True iff every relation `prepared` reads still has the version it
+  /// was prepared against — i.e. no write since Prepare can affect its
+  /// answer. Writes to relations the query does not read never stale
+  /// it.
+  bool IsFresh(const PreparedQuery& prepared) const;
+
+  /// Refreshes a prepared query staled by writes, at delta cost
+  /// instead of plan cost: the stored plan is reused verbatim (no GHD
+  /// search, no sampling — planning_seconds() is 0 on the result), the
+  /// selection push-down re-scans only the written relations, bags fed
+  /// exclusively by unchanged relations are aliased from the stale
+  /// context, and index binds against the written relations resolve by
+  /// delta-patching their cached artifacts (Result::index_patched)
+  /// rather than rebuilding. If `prepared` is already fresh, returns a
+  /// copy of it unchanged. The refreshed query re-pins its indexes at
+  /// the current relation versions, so its dependency_versions() map
+  /// is current.
+  StatusOr<PreparedQuery> Reprepare(const PreparedQuery& prepared) const;
+
   /// Executes `queries` concurrently over a dist::ThreadPool against
   /// the shared read-only catalog; the returned vector aligns
   /// index-wise with `queries` (failures folded into each Result).

@@ -270,7 +270,7 @@ StatusOr<exec::RunReport> Engine::RunCoOpt(const query::Query& q,
 
 StatusOr<ExecutionContext> Engine::PrepareExecution(
     const query::Query& q, const optimizer::QueryPlan& plan,
-    const EngineOptions& options) {
+    const EngineOptions& options, const PrepareReuse* reuse) {
   ExecutionContext ctx;
   ctx.order = plan.order;
   ctx.plan_description = plan.ToString(q);
@@ -278,6 +278,11 @@ StatusOr<ExecutionContext> Engine::PrepareExecution(
   // binds against aliased bases resolve to the indexes every other
   // consumer of this catalog already built (and vice versa).
   ctx.db.ShareIndexCacheWith(*db_);
+  // Delta merges are counted cache-wide at the moment a patch is
+  // consumed, which may happen inside bag materialization rather than
+  // the pinning binds below — snapshot now so the whole prepare's
+  // merge work can be attributed to this context.
+  const uint64_t merged_before = db_->index_cache().stats().delta_rows_merged;
 
   // Build the execution catalog: the base relations the rewritten
   // query still references are aliased — shared, never copied — from
@@ -301,6 +306,31 @@ StatusOr<ExecutionContext> Engine::PrepareExecution(
   // is the context's to hand out (first-run attribution).
   dist::Cluster cluster(options.cluster);
   for (const auto& [name, bag_index] : rewritten.bag_atoms) {
+    // Delta-aware reuse: a bag whose source atoms all kept their
+    // content since `reuse->prev` was built is the same relation —
+    // alias it (and its resident charge) instead of re-materializing.
+    // Its one-time cost was charged to the previous context's runs, so
+    // nothing is added to this context's precompute bill.
+    if (reuse != nullptr && reuse->prev != nullptr &&
+        reuse->prev->db.Contains(name)) {
+      const ghd::Bag& source = plan.decomp.bags[size_t(bag_index)];
+      bool unchanged = true;
+      for (int i = 0; i < q.num_atoms(); ++i) {
+        if (((source.atoms >> i) & 1) != 0 &&
+            reuse->changed.count(q.atom(i).relation) > 0) {
+          unchanged = false;
+          break;
+        }
+      }
+      if (unchanged) {
+        StatusOr<std::shared_ptr<const storage::Relation>> prior =
+            reuse->prev->db.GetShared(name);
+        if (!prior.ok()) return prior.status();
+        ctx.bag_bytes += (*prior)->SizeBytes();
+        ADJ_RETURN_IF_ERROR(ctx.db.PutShared(name, std::move(*prior)));
+        continue;
+      }
+    }
     StatusOr<exec::PrecomputeResult> bag = exec::MaterializeBag(
         q, *db_, plan.decomp.bags[size_t(bag_index)], &cluster,
         options.limits);
@@ -319,9 +349,18 @@ StatusOr<ExecutionContext> Engine::PrepareExecution(
   // bags alike): they are built now, shared through the cache, and the
   // handles keep them resident for as long as this context lives — no
   // run of this context rebuilds them.
+  storage::IndexBuildStats pin_stats;
   StatusOr<std::vector<exec::BoundAtom>> bound =
-      exec::BindAtomsForOrder(ctx.query, ctx.db, ctx.order);
+      exec::BindAtomsForOrder(ctx.query, ctx.db, ctx.order, &pin_stats);
   if (!bound.ok()) return bound.status();
+  // Delta patches applied while preparing are the write's amortized
+  // index cost — surfaced on the first run, like the bag cost above.
+  // The rows-layer merge may be triggered by bag materialization (its
+  // binds take no per-call stats), so merge volume comes from the
+  // cache-wide counter's delta across this prepare.
+  ctx.prepare_index_patched = pin_stats.patched;
+  ctx.prepare_delta_rows =
+      db_->index_cache().stats().delta_rows_merged - merged_before;
   // Resident accounting dedups by physical payload: labeled binds of
   // one permutation alias a single rows buffer + trie in the cache
   // (e.g. the triangle query's three G bindings), so the footprint is
@@ -376,6 +415,8 @@ StatusOr<exec::RunReport> Engine::RunPrepared(const ExecutionContext& ctx,
   report.index_builds = run->report.index_builds;
   report.index_reused = run->report.index_reused;
   report.index_mmap = run->report.index_mmap;
+  report.index_patched = run->report.index_patched;
+  report.delta_rows_merged = run->report.delta_rows_merged;
   report.rounds = 1;
   return report;
 }

@@ -2,6 +2,7 @@
 #define ADJ_CORE_ENGINE_H_
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -67,12 +68,21 @@ struct ExecutionContext {
   /// One-time bag-materialization cost — charge it to exactly one run.
   double precompute_s = 0.0;
   dist::CommStats precompute_comm;
+  /// Index work done while pinning this context's bound atoms: after a
+  /// write, binds against the written relation resolve by delta-
+  /// patching the pre-write artifacts (storage::IndexCache merge-on-
+  /// read) — the delta-proportional cost of refreshing a prepared
+  /// query. One-time, so charged with the rest of the prepare cost.
+  uint64_t prepare_index_patched = 0;
+  uint64_t prepare_delta_rows = 0;
 
   /// Adds the one-time pre-computation cost to `report` (first-run
   /// attribution).
   void ChargePrecompute(exec::RunReport* report) const {
     report->precompute_s += precompute_s;
     report->precompute_comm.Add(precompute_comm);
+    report->index_patched += prepare_index_patched;
+    report->delta_rows_merged += prepare_delta_rows;
   }
 };
 
@@ -120,6 +130,18 @@ class Engine {
                                         const optimizer::QueryPlan& plan,
                                         const EngineOptions& options);
 
+  /// Delta-aware re-preparation input: a context previously built for
+  /// the same (q, plan) plus the set of this engine's catalog names
+  /// whose content changed since. PrepareExecution aliases every bag
+  /// whose source atoms are all unchanged straight out of `prev`
+  /// instead of re-materializing it, so refreshing a prepared query
+  /// after a point write costs only the bags the write actually feeds
+  /// (api::Session::Reprepare drives this from per-relation versions).
+  struct PrepareReuse {
+    const ExecutionContext* prev = nullptr;
+    std::set<std::string> changed;  // atom relation names rewritten
+  };
+
   /// One-time setup of plan execution: rewrites `q` with the plan's
   /// pre-computed bags, builds the execution catalog (base relations
   /// aliased from this engine's catalog at zero copy cost, bag
@@ -127,9 +149,11 @@ class Engine {
   /// cost. The outer Status carries setup errors (unknown relation);
   /// bag-materialization failures land in the context's
   /// precompute_status, mirroring the per-run failure channel.
+  /// `reuse`, when given, re-aliases still-valid bags from a prior
+  /// context (see PrepareReuse) — their cost is not re-charged.
   StatusOr<ExecutionContext> PrepareExecution(
       const query::Query& q, const optimizer::QueryPlan& plan,
-      const EngineOptions& options);
+      const EngineOptions& options, const PrepareReuse* reuse = nullptr);
 
   /// The run step: executes the context's final one-round join
   /// (RunHCubeJ) on a fresh simulated cluster. Touches no base

@@ -106,7 +106,13 @@ StatusOr<SpjQuery> ParseSpj(const std::string& text) {
 }
 
 StatusOr<PushedDown> PushDownSelections(const storage::Catalog& db,
-                                         const SpjQuery& spj) {
+                                        const SpjQuery& spj) {
+  return PushDownSelections(db, spj, nullptr);
+}
+
+StatusOr<PushedDown> PushDownSelections(const storage::Catalog& db,
+                                        const SpjQuery& spj,
+                                        const PushDownReuse* reuse) {
   PushedDown out;
   // The reduced catalog shares the source's index cache: aliased
   // (unfiltered) atoms bind to the indexes the source's consumers
@@ -136,6 +142,26 @@ StatusOr<PushedDown> PushDownSelections(const storage::Catalog& db,
       new_atoms.push_back(atom);
       continue;
     }
+    const std::string name = atom.relation + "__sel" + std::to_string(i);
+    if (reuse != nullptr && reuse->prev != nullptr &&
+        reuse->changed != nullptr &&
+        reuse->changed->count(atom.relation) == 0 &&
+        reuse->prev->Contains(name)) {
+      // The base did not change since the previous push-down: alias
+      // the prior filtered copy instead of re-scanning — identity is
+      // preserved, so its cached indexes stay bindable.
+      StatusOr<std::shared_ptr<const storage::Relation>> prior =
+          reuse->prev->GetShared(name);
+      if (!prior.ok()) return prior.status();
+      out.filtered += base->size() - (*prior)->size();
+      if (!out.catalog.Contains(name)) {
+        ADJ_RETURN_IF_ERROR(out.catalog.PutShared(name, std::move(*prior)));
+      }
+      query::Atom new_atom = atom;
+      new_atom.relation = name;
+      new_atoms.push_back(new_atom);
+      continue;
+    }
     storage::Relation filtered(storage::Schema(base->schema()));
     for (uint64_t r = 0; r < base->size(); ++r) {
       bool keep = true;
@@ -148,7 +174,6 @@ StatusOr<PushedDown> PushDownSelections(const storage::Catalog& db,
       if (keep) filtered.Append(base->Row(r));
     }
     out.filtered += base->size() - filtered.size();
-    const std::string name = atom.relation + "__sel" + std::to_string(i);
     out.catalog.Put(name, std::move(filtered));
     query::Atom new_atom = atom;
     new_atom.relation = name;

@@ -1,6 +1,7 @@
 #ifndef ADJ_CORE_SPJ_H_
 #define ADJ_CORE_SPJ_H_
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,22 @@ struct PushedDown {
 };
 StatusOr<PushedDown> PushDownSelections(const storage::Catalog& db,
                                         const SpjQuery& spj);
+
+/// Delta-aware re-push-down: when a prepared query is refreshed after
+/// a write (api::Session::Reprepare), re-scanning every selected atom
+/// would cost O(dataset) even though most bases did not change. This
+/// overload aliases the *previous* filtered copy (from `prev`, usually
+/// the stale ExecutionContext's catalog) for every atom whose base
+/// relation is not in `changed`, so the re-push-down scans only the
+/// written relations — and preserves relation identity for the rest,
+/// which is what keeps their cached indexes bindable without rebuilds.
+struct PushDownReuse {
+  const storage::Catalog* prev = nullptr;     // prior prepared catalog
+  const std::set<std::string>* changed = nullptr;  // base names rewritten
+};
+StatusOr<PushedDown> PushDownSelections(const storage::Catalog& db,
+                                        const SpjQuery& spj,
+                                        const PushDownReuse* reuse);
 
 }  // namespace adj::core
 

@@ -60,6 +60,8 @@ StatusOr<RunReport> RunBigJoin(const query::Query& q,
   report.index_builds = index_stats.builds;
   report.index_reused = index_stats.hits;
   report.index_mmap = index_stats.mmap_hits;
+  report.index_patched = index_stats.patched;
+  report.delta_rows_merged = index_stats.delta_rows_merged;
 
   const int n = static_cast<int>(order.size());
   const std::vector<int> rank = query::RankOf(order, q.num_attrs());

@@ -93,6 +93,8 @@ StatusOr<HCubeJOutput> RunHCubeJ(const query::Query& q,
   out.report.index_builds = index_stats.builds;
   out.report.index_reused = index_stats.hits;
   out.report.index_mmap = index_stats.mmap_hits;
+  out.report.index_patched = index_stats.patched;
+  out.report.delta_rows_merged = index_stats.delta_rows_merged;
   if (!shuffle.ok()) {
     out.report.status = shuffle.status();
     return out;

@@ -12,7 +12,8 @@ std::string RunReport::ToString() const {
   std::snprintf(buf, sizeof(buf),
                 "%s: out=%llu total=%.3fs (opt=%.3f pre=%.3f comm=%.3f "
                 "comp=%.3f ovh=%.3f) shuffled=%llu tuples "
-                "indexes(built=%llu reused=%llu mmap=%llu) "
+                "indexes(built=%llu reused=%llu mmap=%llu patched=%llu "
+                "delta_rows=%llu) "
                 "kernels(simd=%llu scalar=%llu)",
                 method.c_str(), static_cast<unsigned long long>(output_count),
                 TotalSeconds(), optimize_s, precompute_s, comm_s, comp_s,
@@ -22,6 +23,8 @@ std::string RunReport::ToString() const {
                 static_cast<unsigned long long>(index_builds),
                 static_cast<unsigned long long>(index_reused),
                 static_cast<unsigned long long>(index_mmap),
+                static_cast<unsigned long long>(index_patched),
+                static_cast<unsigned long long>(delta_rows_merged),
                 static_cast<unsigned long long>(simd_intersections),
                 static_cast<unsigned long long>(scalar_fallbacks));
   return buf;

@@ -54,6 +54,14 @@ struct RunReport {
   /// Of index_reused, how many were adopted from an mmap'ed snapshot
   /// (persist warm restore) rather than built earlier in this process.
   uint64_t index_mmap = 0;
+  /// Write provenance: bound artifacts obtained by delta-patching a
+  /// cached payload of the pre-write relation version (merge-on-read)
+  /// instead of rebuilding, and the delta rows merged doing so. After
+  /// a single-relation write, a prepared rerun reports index_builds ==
+  /// 0 and index_patched > 0 — the observable form of "a point write
+  /// costs delta-proportional merge work, not a rebuild".
+  uint64_t index_patched = 0;
+  uint64_t delta_rows_merged = 0;
 
   std::string plan_description;
 

@@ -2,17 +2,34 @@
 
 namespace adj::serve {
 
+namespace {
+
+// All of the plan's dependencies still at their prepared versions?
+bool DepsFresh(const api::PreparedQuery& prepared,
+               const storage::Catalog& catalog) {
+  for (const auto& [name, version] : prepared.dependency_versions()) {
+    if (catalog.VersionOf(name) != version) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 std::optional<api::PreparedQuery> PreparedQueryCache::Lookup(
-    const std::string& key, uint64_t generation) {
+    const std::string& key, const storage::Catalog& catalog,
+    std::optional<api::PreparedQuery>* stale) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
     return std::nullopt;
   }
-  if (it->second->generation != generation) {
-    // The catalog changed since this plan was prepared: its
-    // ExecutionContext may alias replaced relations — drop, miss.
+  if (!DepsFresh(it->second->prepared, catalog)) {
+    // A write moved one of the relations this plan reads: its
+    // ExecutionContext aliases a pre-write version — never serve it.
+    // Hand the entry to the caller instead of discarding it, so the
+    // refresh can reuse the plan and the unchanged bags (Reprepare).
+    if (stale != nullptr) *stale = std::move(it->second->prepared);
     stats_.resident_bytes -= it->second->bytes;
     entries_.erase(it->second);
     index_.erase(it);
@@ -32,7 +49,7 @@ void PreparedQueryCache::EvictBackLocked() {
   ++stats_.evictions;
 }
 
-void PreparedQueryCache::Insert(const std::string& key, uint64_t generation,
+void PreparedQueryCache::Insert(const std::string& key,
                                 api::PreparedQuery prepared) {
   if (capacity_ == 0) return;
   const uint64_t bytes = prepared.resident_bytes();
@@ -46,7 +63,10 @@ void PreparedQueryCache::Insert(const std::string& key, uint64_t generation,
   }
   auto it = index_.find(key);
   if (it != index_.end()) {
-    if (it->second->generation == generation) return;  // racing worker won
+    if (it->second->prepared.dependency_versions() ==
+        prepared.dependency_versions()) {
+      return;  // racing worker won — same dependency snapshot
+    }
     stats_.resident_bytes -= it->second->bytes;
     entries_.erase(it->second);
     index_.erase(it);
@@ -57,7 +77,7 @@ void PreparedQueryCache::Insert(const std::string& key, uint64_t generation,
          stats_.resident_bytes + bytes > memory_budget_bytes_) {
     EvictBackLocked();
   }
-  entries_.push_front(Entry{key, generation, bytes, std::move(prepared)});
+  entries_.push_front(Entry{key, bytes, std::move(prepared)});
   index_[key] = entries_.begin();
   stats_.resident_bytes += bytes;
 }

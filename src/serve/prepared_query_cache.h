@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -10,6 +11,7 @@
 #include <utility>
 
 #include "api/prepared_query.h"
+#include "storage/catalog.h"
 
 namespace adj::serve {
 
@@ -25,12 +27,16 @@ namespace adj::serve {
 /// queries written differently (reordered atoms, renamed variables) do
 /// not — normalization is canonical-rendering, not query equivalence.
 ///
-/// Invalidation: every entry records the storage::Catalog generation
-/// it was prepared at. Lookup takes the catalog's *current* generation
-/// and treats any entry from another generation as stale: the entry is
-/// dropped (counted in Stats::invalidations) and the lookup misses, so
-/// an ExecutionContext whose aliased base relations were replaced by a
-/// reload is never served.
+/// Invalidation is per-relation, not per-catalog: every entry carries
+/// its PreparedQuery's dependency_versions() — the relations the plan
+/// reads, each at the version it was prepared against. Lookup
+/// revalidates them against the live catalog: all versions unchanged →
+/// hit; any mismatch → the entry is removed (counted in
+/// Stats::invalidations) and, instead of being discarded, handed back
+/// through `stale` so the caller can api::Session::Reprepare it at
+/// delta cost rather than re-planning from scratch. Entries whose
+/// relations a write did not touch are never invalidated by it —
+/// that is the point of versioned dependencies.
 ///
 /// Concurrency: all operations are mutex-serialized, so any number of
 /// server workers may Lookup/Insert concurrently. Lookup hands out a
@@ -44,7 +50,7 @@ class PreparedQueryCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;      // LRU evictions (capacity or bytes)
-    uint64_t invalidations = 0;  // generation-mismatch drops
+    uint64_t invalidations = 0;  // dependency-version-mismatch drops
     uint64_t oversize_rejects = 0;  // entries bigger than the budget
     uint64_t resident_bytes = 0;    // current pinned-index + bag bytes
   };
@@ -67,20 +73,23 @@ class PreparedQueryCache {
   PreparedQueryCache(const PreparedQueryCache&) = delete;
   PreparedQueryCache& operator=(const PreparedQueryCache&) = delete;
 
-  /// A copy of the entry under `key` if present and prepared at
-  /// `generation`; nullopt otherwise (stale entries are dropped on the
-  /// way). A hit refreshes the entry's LRU position.
-  std::optional<api::PreparedQuery> Lookup(const std::string& key,
-                                           uint64_t generation);
+  /// A copy of the entry under `key` if present and every one of its
+  /// dependency versions still matches `catalog`; nullopt otherwise. A
+  /// stale entry is removed on the way and — when `stale` is non-null
+  /// — moved into *stale, so the caller can Reprepare it (reusing its
+  /// plan and unchanged bags) instead of planning from scratch. A hit
+  /// refreshes the entry's LRU position.
+  std::optional<api::PreparedQuery> Lookup(
+      const std::string& key, const storage::Catalog& catalog,
+      std::optional<api::PreparedQuery>* stale = nullptr);
 
-  /// Caches `prepared` (the master copy) under `key` as of
-  /// `generation`, evicting the least-recently-used entry at capacity.
-  /// If `key` is already cached at the same generation the existing
-  /// entry wins (two workers raced preparing the same text; the loser
-  /// still runs its own instance); at another generation the new entry
-  /// replaces the stale one.
-  void Insert(const std::string& key, uint64_t generation,
-              api::PreparedQuery prepared);
+  /// Caches `prepared` (the master copy) under `key`, evicting the
+  /// least-recently-used entry at capacity. If `key` is already cached
+  /// with the same dependency versions the existing entry wins (two
+  /// workers raced preparing the same text; the loser still runs its
+  /// own instance); with different versions the newer entry replaces
+  /// the stale one.
+  void Insert(const std::string& key, api::PreparedQuery prepared);
 
   void Clear();
 
@@ -93,9 +102,8 @@ class PreparedQueryCache {
  private:
   struct Entry {
     std::string key;
-    uint64_t generation = 0;
     uint64_t bytes = 0;  // resident_bytes() charge at insert time
-    api::PreparedQuery prepared;
+    api::PreparedQuery prepared;  // carries its dependency_versions()
   };
   using EntryList = std::list<Entry>;
 

@@ -180,7 +180,9 @@ api::Result Server::ExecuteRequest(Request& req) {
   wcoj::JoinLimits limits = options_.engine.limits;
   limits.max_seconds = std::min(limits.max_seconds, remaining);
 
-  const uint64_t generation = db_.catalog().generation();
+  // Read side of the write lock: Apply waits for requests in flight
+  // and no request starts while a batch is mid-application.
+  std::shared_lock<std::shared_mutex> read_catalog(catalog_mu_);
 
   if (req.proper_projection) {
     // Prepare() rejects proper projections, so there is no plan to
@@ -191,19 +193,45 @@ api::Result Server::ExecuteRequest(Request& req) {
     return session.Run(req.text);
   }
 
+  std::optional<api::PreparedQuery> stale;
   std::optional<api::PreparedQuery> prepared =
-      cache_.Lookup(req.key, generation);
+      cache_.Lookup(req.key, db_.catalog(), &stale);
   if (!prepared) {
-    StatusOr<api::PreparedQuery> built = session_.Prepare(req.text);
+    // Stale hit: a write moved one of the plan's relations — refresh
+    // at delta cost (plan reused, unchanged bags aliased, written
+    // relations' indexes delta-patched) instead of re-planning. Falls
+    // back to a full Prepare if the refresh fails (e.g. a relation the
+    // plan reads was replaced with an incompatible one).
+    StatusOr<api::PreparedQuery> built =
+        stale ? session_.Reprepare(*stale) : session_.Prepare(req.text);
+    if (stale && built.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.reprepared;
+    }
+    if (stale && !built.ok()) built = session_.Prepare(req.text);
     if (!built.ok()) return api::Result(built.status());
     // The master copy stays cached; this request runs its own copy.
     // Copies share the charge-planning-once flag, so whichever copy
     // runs first pays optimize_s/precompute_s and every later request
     // for this key reports both as zero.
-    cache_.Insert(req.key, generation, *built);
+    cache_.Insert(req.key, *built);
     prepared = std::move(built.value());
   }
   return prepared->Run(limits);
+}
+
+Status Server::Apply(const storage::WriteBatch& batch) {
+  // Write side: excludes request execution for exactly the O(delta)
+  // catalog mutation. Cache entries are not flushed — the per-relation
+  // versions the batch advances invalidate precisely the plans that
+  // read a written relation, on their next lookup.
+  std::unique_lock<std::shared_mutex> write_catalog(catalog_mu_);
+  Status status = db_.Apply(batch);
+  if (status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.writes_applied;
+  }
+  return status;
 }
 
 void Server::Pause() {

@@ -7,6 +7,7 @@
 #include <future>
 #include <limits>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,8 @@ struct ServerStats {
   uint64_t served = 0;            // completed with an ok() Result
   uint64_t failed = 0;            // completed with an error Result
   uint64_t expired_in_queue = 0;  // deadline passed before execution
+  uint64_t writes_applied = 0;    // successful Server::Apply calls
+  uint64_t reprepared = 0;        // stale plans refreshed at delta cost
   PreparedQueryCache::Stats cache;
 };
 
@@ -81,21 +84,26 @@ struct ServerStats {
 /// batch lane, round-robin fair; full queue → ResourceExhausted), and
 /// hands back a std::future<api::Result>. A worker from the
 /// dist::ThreadPool then pops the request, checks its deadline, looks
-/// up the PreparedQueryCache under the catalog's current generation —
-/// hit: runs a copy of the cached plan; miss: prepares, caches the
-/// master, runs — and fulfills the future. Per-request deadlines map
+/// up the PreparedQueryCache — fresh hit: runs a copy of the cached
+/// plan; stale hit (a write moved one of the plan's relations):
+/// refreshes it with Session::Reprepare at delta cost, re-caches,
+/// runs; miss: prepares, caches the master, runs — and fulfills the
+/// future. Per-request deadlines map
 /// onto wcoj::JoinLimits::max_seconds, so a request that exceeds its
 /// budget mid-join also completes with DeadlineExceeded. Queries with
 /// a proper projection (not preparable today) fall through to direct
 /// Session execution, uncached but still deadline-bounded.
 ///
-/// Thread-safety: Submit / SubmitBatch / Execute / stats are safe from
-/// any number of client threads. database() is the one mutable path —
-/// reloading relations requires quiescing (Pause() + Drain(), or no
-/// requests in flight); the catalog generation counter then takes care
-/// of cached-plan staleness, so a reload needs no explicit cache
-/// flush. The destructor drains: every admitted request's future is
-/// fulfilled before destruction completes.
+/// Thread-safety: Submit / SubmitBatch / Execute / Apply / stats are
+/// safe from any number of client threads — Apply self-synchronizes
+/// against request execution with a reader/writer lock, so live
+/// writes need no Pause/Drain choreography. database() is the one
+/// unsynchronized mutable path — direct reloads still require
+/// quiescing (Pause() + Drain(), or no requests in flight). Either
+/// way the per-relation version counters take care of cached-plan
+/// staleness, so a write needs no explicit cache flush. The
+/// destructor drains: every admitted request's future is fulfilled
+/// before destruction completes.
 class Server {
  public:
   explicit Server(api::Database db, ServerOptions options = {});
@@ -134,11 +142,25 @@ class Server {
   /// database() mutations.
   void Drain();
 
-  /// The served database. Mutating it (LoadBuiltin / AddRelation /
-  /// LoadEdgeList) is only safe with no request in flight — call
-  /// Drain() first and don't admit concurrently. Each mutation bumps
-  /// the catalog generation, invalidating affected cache entries on
-  /// their next lookup.
+  /// Applies a write batch to the served database without any
+  /// Pause/Drain choreography: a reader/writer lock serializes it
+  /// against in-flight request execution (requests hold the read side;
+  /// Apply takes the write side, so it waits for running requests and
+  /// blocks new ones only for the duration of the batch — typically
+  /// microseconds, since tuple writes are O(delta) delta appends).
+  /// Admission stays open throughout. Cached plans whose relations the
+  /// batch touched are refreshed on their next request via
+  /// api::Session::Reprepare (plan reused, delta-patched indexes, see
+  /// ServerStats::reprepared); plans over untouched relations stay
+  /// cached and keep hitting.
+  Status Apply(const storage::WriteBatch& batch);
+
+  /// The served database. Mutating it directly (LoadBuiltin /
+  /// AddRelation / LoadEdgeList) is only safe with no request in
+  /// flight — call Drain() first and don't admit concurrently; prefer
+  /// Apply, which synchronizes itself. Each mutation bumps the touched
+  /// relations' versions, invalidating exactly the affected cache
+  /// entries on their next lookup.
   api::Database& database() { return db_; }
   const api::Database& database() const { return db_; }
 
@@ -171,6 +193,12 @@ class Server {
   const ServerOptions options_;
   api::Session session_;  // Prepare()s under options_.engine (const use)
   PreparedQueryCache cache_;
+
+  // Serializes Apply (write side) against request execution (read
+  // side): everything a request reads through the catalog is immutable
+  // once published, so concurrent readers are free, and the write side
+  // only excludes them for the O(delta) catalog mutation itself.
+  std::shared_mutex catalog_mu_;
 
   mutable std::mutex mu_;
   std::condition_variable resume_cv_;

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "storage/index_cache.h"
 #include "storage/relation.h"
+#include "storage/write_batch.h"
 
 namespace adj::storage {
 
@@ -17,25 +18,42 @@ namespace adj::storage {
 /// copy of the same edge relation; the catalog stores each distinct
 /// physical relation once and atoms reference it by name.
 ///
-/// Ownership model: every entry is a shared_ptr<const Relation>, so a
-/// name can either own its relation outright (Put) or borrow one that
-/// another catalog — or another name in this catalog — already holds
+/// Delta-aware entries: every name binds an *immutable base* relation
+/// (possibly mmap-backed from a persist snapshot) plus an ordered
+/// chain of append/tombstone DeltaBatches, folded down into the
+/// *effective* relation readers see. Get/GetShared always return the
+/// effective relation; each relation version is itself immutable, so
+/// everything derived from it (indexes, prepared contexts) stays
+/// consistent — a write produces a *new* effective relation and
+/// rebinds the name. Once the chain's accumulated rows reach
+/// delta_compact_threshold(), the chain is compacted: the current
+/// effective relation becomes the new base and the deltas are dropped.
+///
+/// Ownership model: entries hold shared_ptr<const Relation>, so a name
+/// can own its relation outright (Put/Create) or borrow one another
+/// catalog — or another name in this catalog — already holds
 /// (PutShared / Alias). Borrowed entries share physical storage with
 /// their source: Get returns the same pointer for every alias, no
 /// tuple data is copied, and the relation stays alive as long as any
 /// catalog references it, even after the source catalog is destroyed.
-/// This is what lets an execution catalog reference the engine's base
-/// relations per prepared run at zero copy cost. Relations reachable
-/// through a catalog are immutable; replacing a name via Put rebinds
-/// only that name and never affects aliases of the old relation.
+/// Writes rebind only the written name: aliases of the old relation
+/// version keep reading it, exactly as with Put.
 ///
-/// Staleness tracking: every mutation of the name→relation mapping
-/// (Put / PutShared / Alias) bumps generation(). Caches that hold
-/// plans or ExecutionContexts built against this catalog record the
-/// generation they were built at and drop entries whose generation no
-/// longer matches — see serve::PreparedQueryCache. The counter is not
-/// atomic: like the rest of the catalog, mutation must be quiesced
-/// with respect to readers (docs/ARCHITECTURE.md, "Ownership rules").
+/// Mutation surface: WriteBatch + Apply() is the write API — ordered
+/// insert/delete/create/alias ops validated up front and applied
+/// atomically (a rejected batch leaves the catalog untouched). The
+/// historical Put / PutShared / Alias methods are deprecated thin
+/// wrappers over one-op batches.
+///
+/// Staleness tracking is *per relation*: every write to a name bumps
+/// VersionOf(name), so caches invalidate only entries whose bound
+/// relations actually changed (serve::PreparedQueryCache validates a
+/// prepared query's recorded name→version dependencies). The global
+/// generation() counter — bumped once per successful Apply — survives
+/// as a coarse any-write signal. Neither counter is atomic: like the
+/// rest of the catalog, mutation must be quiesced with respect to
+/// readers (docs/ARCHITECTURE.md, "Ownership rules";
+/// serve::Server::Apply does this with a reader/writer lock).
 class Catalog {
  public:
   Catalog() = default;
@@ -46,54 +64,95 @@ class Catalog {
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
+  /// Applies `batch` atomically: every op is validated against the
+  /// catalog-plus-batch-prefix state first (missing names, tuple arity
+  /// mismatches, null relations), and a failed validation returns the
+  /// error with the catalog untouched. On success each written name
+  /// gains one version; tuple ops coalesce into one DeltaBatch per
+  /// name, linked into the index cache for merge-on-read patching,
+  /// and generation() advances once.
+  Status Apply(const WriteBatch& batch);
+
+  /// DEPRECATED — wrapper for Apply of a one-op Create batch.
   /// Registers `rel` under `name`, replacing any previous binding.
-  /// The catalog (co-)owns the relation.
   void Put(const std::string& name, Relation rel);
 
+  /// DEPRECATED — wrapper for Apply of a one-op Create batch.
   /// Registers an already-shared relation under `name`, replacing any
-  /// previous binding. No tuple data is copied; the relation is kept
-  /// alive for as long as this entry exists. Null `rel` is rejected.
+  /// previous binding. No tuple data is copied. Null `rel` is
+  /// rejected.
   Status PutShared(const std::string& name,
                    std::shared_ptr<const Relation> rel);
 
-  /// Binds `alias` to the physical relation already registered under
-  /// `name` in this catalog (replacing any previous `alias` binding).
-  /// NotFound if `name` has no entry.
+  /// DEPRECATED — wrapper for Apply of a one-op AliasRelation batch.
+  /// Binds `alias` to the relation version currently bound to `name`
+  /// in this catalog. NotFound if `name` has no entry.
   Status Alias(const std::string& alias, const std::string& name);
 
   bool Contains(const std::string& name) const;
 
-  /// Borrowed pointer; valid until the entry is replaced or the last
-  /// catalog sharing the relation is destroyed. Aliases of one
-  /// physical relation return pointer-equal results.
+  /// Borrowed pointer to the effective relation; valid until the entry
+  /// is replaced and the last catalog sharing the relation is
+  /// destroyed. Aliases of one physical relation return pointer-equal
+  /// results.
   StatusOr<const Relation*> Get(const std::string& name) const;
 
-  /// Shared handle to the entry — the way to alias a relation into
-  /// another catalog (PutShared) without copying it.
+  /// Shared handle to the effective relation — the way to alias a
+  /// relation into another catalog (PutShared) without copying it.
   StatusOr<std::shared_ptr<const Relation>> GetShared(
       const std::string& name) const;
 
   std::vector<std::string> Names() const;
 
-  /// Totals over *distinct physical* relations: a relation registered
-  /// under several names (Alias/PutShared) is counted once.
+  /// Totals over *distinct physical* effective relations: a relation
+  /// registered under several names (Alias/PutShared) is counted once.
   uint64_t TotalTuples() const;
   uint64_t TotalBytes() const;
 
-  /// Monotone counter of name→relation mutations: starts at 0 and is
-  /// bumped by every successful Put / PutShared / Alias. Equal
-  /// generations guarantee every name still resolves to the same
-  /// physical relation it did before, so anything derived from the
-  /// catalog at generation g (plans, ExecutionContexts) is still
-  /// valid while generation() == g.
+  /// Per-relation write counter: 0 for a name not in the catalog,
+  /// bumped by every write that rebinds `name` (create, alias rebind,
+  /// tuple delta). Anything derived from the relation bound at version
+  /// v — indexes, plans, prepared contexts — is exactly as fresh as
+  /// (VersionOf(name) == v), independent of writes to other names.
+  uint64_t VersionOf(const std::string& name) const;
+
+  /// Monotone counter of successful Apply calls (each deprecated
+  /// wrapper is a one-op Apply): equal generations guarantee every
+  /// name still resolves to the same relation version it did before.
+  /// Coarser than VersionOf — kept for whole-catalog consumers.
   uint64_t generation() const { return generation_; }
+
+  /// Accumulated delta rows at which a written entry folds its chain
+  /// into a new base (frees the old base and the batches; derived
+  /// patch state survives, it references payloads, not the base).
+  uint64_t delta_compact_threshold() const { return delta_compact_threshold_; }
+  void set_delta_compact_threshold(uint64_t rows) {
+    delta_compact_threshold_ = rows;
+  }
+
+  /// Everything one entry carries — the persist layer serializes this
+  /// (base + chain + effective) so Save/Open round-trips a written-to
+  /// catalog, and tests assert chain/compaction state through it.
+  struct EntryState {
+    std::shared_ptr<const Relation> base;
+    std::vector<std::shared_ptr<const DeltaBatch>> deltas;
+    std::shared_ptr<const Relation> effective;
+    uint64_t version = 0;
+  };
+  StatusOr<EntryState> Inspect(const std::string& name) const;
+
+  /// Installs a fully-formed entry (snapshot restore): `state.base` /
+  /// `state.effective` must be non-null; the name's version becomes
+  /// max(current, state.version) + 1 so restored-over entries still
+  /// read as written. Bumps generation() like any write.
+  Status Restore(const std::string& name, EntryState state);
 
   /// The shared index layer riding alongside this catalog: every bind
   /// site (wcoj / exec / dist / optimizer) requests permuted-sorted-
   /// trie-indexed artifacts through it instead of constructing inline.
   /// Internally synchronized, hence usable through const catalogs; a
-  /// generation bump sweeps entries whose source relation is no longer
-  /// reachable.
+  /// write sweeps entries whose source relation is no longer
+  /// reachable, after linking deltas for merge-on-read patching.
   IndexCache& index_cache() const { return *index_cache_; }
 
   /// Makes this catalog use `other`'s index cache, so indexes built
@@ -104,8 +163,25 @@ class Catalog {
   }
 
  private:
-  std::map<std::string, std::shared_ptr<const Relation>> relations_;
+  struct Entry {
+    std::shared_ptr<const Relation> base;
+    std::vector<std::shared_ptr<const DeltaBatch>> deltas;
+    std::shared_ptr<const Relation> effective;
+    uint64_t version = 0;
+    // Whether `effective` is known lexicographically sorted + unique
+    // (true from the first tuple write on: merged output is canonical).
+    bool canonical = false;
+  };
+
+  /// Applies one coalesced DeltaBatch to `name` (which must exist):
+  /// computes the next effective relation by galloping merge, links
+  /// the delta into the index cache, extends the chain, bumps the
+  /// entry version, and compacts past the threshold.
+  void ApplyDelta(const std::string& name, std::shared_ptr<DeltaBatch> delta);
+
+  std::map<std::string, Entry> relations_;
   uint64_t generation_ = 0;
+  uint64_t delta_compact_threshold_ = 4096;
   std::shared_ptr<IndexCache> index_cache_ = std::make_shared<IndexCache>();
 };
 

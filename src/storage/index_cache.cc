@@ -90,8 +90,17 @@ StatusOr<std::shared_ptr<const void>> IndexCache::GetOrBuildTagged(
   entry->bytes = built->bytes;
   entry->lru_tick = ++tick_;
   entry->ready = true;
-  ++stats_.builds;
-  if (stats != nullptr) ++stats->builds;
+  entry->patched = built->patched;
+  if (built->patched) {
+    ++stats_.patched_builds;
+    if (stats != nullptr) {
+      ++stats->patched;
+      stats->delta_rows_merged += built->delta_rows_merged;
+    }
+  } else {
+    ++stats_.builds;
+    if (stats != nullptr) ++stats->builds;
+  }
   if (resident) {
     stats_.resident_bytes += entry->bytes;
     EnforceBudgetLocked();
@@ -102,10 +111,16 @@ StatusOr<std::shared_ptr<const void>> IndexCache::GetOrBuildTagged(
 
 StatusOr<std::shared_ptr<const Relation>> IndexCache::GetPermutedRows(
     const std::shared_ptr<const Relation>& base, const Schema& schema,
-    const std::vector<int>& perm) {
+    const std::vector<int>& perm, bool* patched_out, uint64_t* merged_out) {
+  if (patched_out != nullptr) *patched_out = false;
+  if (merged_out != nullptr) *merged_out = 0;
+  PatchSource src;
+  const bool have_patch =
+      PeekPatchSource(base, perm, &src) && src.payload != nullptr;
   auto meta = std::make_shared<PermutedMeta>();
   meta->kind = PermutedMeta::kRows;
   meta->perm = perm;
+  bool used_patch = false;
   StatusOr<std::shared_ptr<const void>> artifact = GetOrBuildTagged(
       base.get(), RowsSpec(perm), base,
       [&]() -> StatusOr<BuildResult> {
@@ -113,6 +128,29 @@ StatusOr<std::shared_ptr<const Relation>> IndexCache::GetPermutedRows(
         // relation per (base, perm), whose buffer every labeling
         // aliases. Snapshot adoption swaps in a mapped-span relation
         // under the same key.
+        if (have_patch) {
+          // Merge-on-read: the relation gained a delta since the
+          // recorded payload was built. Permute + sort only the delta
+          // rows into this column order, then gallop-merge them over
+          // the predecessor's canonical payload — O(delta · log n)
+          // locate work plus run copies, never an O(n log n) re-sort
+          // of the whole relation.
+          Relation ins = src.delta->inserts.PermuteColumns(schema, perm);
+          ins.SortAndDedup();
+          Relation del = src.delta->deletes.PermuteColumns(schema, perm);
+          del.SortAndDedup();
+          Relation merged(schema);
+          MergeDeltaRows(src.payload->raw(), schema.arity(), ins.raw(),
+                         del.raw(), &merged.mutable_raw());
+          auto canon = std::make_shared<const Relation>(std::move(merged));
+          used_patch = true;
+          BuildResult result;
+          result.artifact = canon;
+          result.bytes = canon->SizeBytes();
+          result.patched = true;
+          result.delta_rows_merged = src.delta->rows();
+          return result;
+        }
         Relation rel = base->PermuteColumns(schema, perm);
         rel.SortAndDedup();
         auto canon = std::make_shared<const Relation>(std::move(rel));
@@ -120,6 +158,13 @@ StatusOr<std::shared_ptr<const Relation>> IndexCache::GetPermutedRows(
       },
       /*stats=*/nullptr, std::move(meta));
   if (!artifact.ok()) return artifact.status();
+  if (used_patch) {
+    ConsumePatchSource(base.get(), perm, src.delta->rows());
+    if (merged_out != nullptr) *merged_out = src.delta->rows();
+  }
+  if (patched_out != nullptr) {
+    *patched_out = used_patch || EntryIsPatched(base.get(), RowsSpec(perm));
+  }
   return std::static_pointer_cast<const Relation>(*artifact);
 }
 
@@ -136,11 +181,40 @@ StatusOr<std::shared_ptr<const Trie>> IndexCache::GetPermutedTrie(
         // re-entering for the rows layer is safe (single-flight is per
         // key). The trie's shape does not depend on the labeling; the
         // schema is only borrowed for arity.
+        bool rows_patched = false;
         StatusOr<std::shared_ptr<const Relation>> rows =
-            GetPermutedRows(base, schema, perm);
+            GetPermutedRows(base, schema, perm, &rows_patched);
         if (!rows.ok()) return rows.status();
+        // Trie-layer delta patch: when the predecessor's trie is still
+        // on the patch record (the rows merge above clears only the
+        // payload side), splice the permuted delta into its CSR arrays
+        // instead of re-scanning all n merged rows. The tuple-count
+        // check downgrades to a scratch build if the patch and the
+        // payload ever disagree (they cannot under the single-writer
+        // contract; the guard keeps a corrupt record from propagating).
+        PatchSource src;
+        if (PeekPatchSource(base, perm, &src) && src.trie != nullptr &&
+            src.delta != nullptr) {
+          Relation ins = src.delta->inserts.PermuteColumns(schema, perm);
+          ins.SortAndDedup();
+          Relation del = src.delta->deletes.PermuteColumns(schema, perm);
+          del.SortAndDedup();
+          Trie patched = Trie::PatchFrom(*src.trie, ins, del);
+          ConsumeTriePatchSource(base.get(), perm);
+          if (patched.NumTuples() == (*rows)->size()) {
+            auto trie = std::make_shared<const Trie>(std::move(patched));
+            BuildResult result{trie,
+                               trie->StorageValues() * sizeof(Value)};
+            result.patched = true;
+            return result;
+          }
+        }
         auto trie = std::make_shared<const Trie>(Trie::Build(**rows));
-        return BuildResult{trie, trie->StorageValues() * sizeof(Value)};
+        BuildResult result{trie, trie->StorageValues() * sizeof(Value)};
+        // A trie over a patched payload counts as patched work, not a
+        // from-scratch index build: its input rows were delta-merged.
+        result.patched = rows_patched;
+        return result;
       },
       /*stats=*/nullptr, std::move(meta));
   if (!artifact.ok()) return artifact.status();
@@ -170,8 +244,10 @@ StatusOr<std::shared_ptr<const PreparedIndex>> IndexCache::GetPermuted(
   StatusOr<std::shared_ptr<const void>> artifact = GetOrBuildTagged(
       identity, BindSpec(perm, schema), base,
       [&]() -> StatusOr<BuildResult> {
+        bool rows_patched = false;
+        uint64_t merged_now = 0;
         StatusOr<std::shared_ptr<const Relation>> rows =
-            GetPermutedRows(base, schema, perm);
+            GetPermutedRows(base, schema, perm, &rows_patched, &merged_now);
         if (!rows.ok()) return rows.status();
         StatusOr<std::shared_ptr<const Trie>> trie =
             GetPermutedTrie(base, schema, perm);
@@ -181,8 +257,13 @@ StatusOr<std::shared_ptr<const PreparedIndex>> IndexCache::GetPermuted(
             Relation::AliasSpan(schema, (*rows)->raw(), *rows));
         index->trie = std::move(*trie);
         // Alias entry: payload bytes are charged once, on the
-        // perm-keyed rows/trie entries.
-        return BuildResult{index, 0};
+        // perm-keyed rows/trie entries. Patched-ness is inherited from
+        // the payload; the merge is charged to the consumer on the
+        // labeled bind that actually triggered it.
+        BuildResult result{index, 0};
+        result.patched = rows_patched;
+        result.delta_rows_merged = merged_now;
+        return result;
       },
       stats, std::move(meta));
   if (!artifact.ok()) return artifact.status();
@@ -207,12 +288,17 @@ StatusOr<std::shared_ptr<const Relation>> IndexCache::GetPermutedRelation(
   StatusOr<std::shared_ptr<const void>> artifact = GetOrBuildTagged(
       identity, RelSpec(perm, schema), base,
       [&]() -> StatusOr<BuildResult> {
+        bool rows_patched = false;
+        uint64_t merged_now = 0;
         StatusOr<std::shared_ptr<const Relation>> rows =
-            GetPermutedRows(base, schema, perm);
+            GetPermutedRows(base, schema, perm, &rows_patched, &merged_now);
         if (!rows.ok()) return rows.status();
         auto rel = std::make_shared<const Relation>(
             Relation::AliasSpan(schema, (*rows)->raw(), *rows));
-        return BuildResult{rel, 0};
+        BuildResult result{rel, 0};
+        result.patched = rows_patched;
+        result.delta_rows_merged = merged_now;
+        return result;
       },
       stats, std::move(meta));
   if (!artifact.ok()) return artifact.status();
@@ -346,6 +432,114 @@ Status IndexCache::AdoptPermuted(std::shared_ptr<const Relation> base,
   return Status::OK();
 }
 
+void IndexCache::LinkDelta(const std::shared_ptr<const Relation>& prev,
+                           const std::shared_ptr<const Relation>& next,
+                           std::shared_ptr<const DeltaBatch> delta) {
+  if (prev == nullptr || next == nullptr || delta == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  PatchRecord rec;
+  rec.child = next;
+  // Inherit `prev`'s own unconsumed sources first — prev may itself be
+  // an unbound successor of an older version, in which case the two
+  // deltas compose into one net delta per payload.
+  auto pit = patches_.find(prev.get());
+  if (pit != patches_.end()) {
+    if (auto live = pit->second.child.lock(); live == prev) {
+      for (auto& [perm, src] : pit->second.by_perm) {
+        auto net = std::make_shared<DeltaBatch>(
+            ComposeDelta(*src.delta, *delta));
+        // Payload and trie both describe the ORIGINAL version, so the
+        // composed net delta applies to either.
+        rec.by_perm[perm] =
+            PatchSource{src.payload, std::move(net), src.trie};
+      }
+    }
+    patches_.erase(pit);
+  }
+  // Fresh sources from every canonical payload (and its trie) of
+  // `prev` currently resident; these supersede inherited ones (one
+  // delta, not two).
+  for (const auto& [key, entry] : entries_) {
+    if (key.first != prev.get() || !entry->ready ||
+        entry->meta == nullptr) {
+      continue;
+    }
+    if (entry->meta->kind == PermutedMeta::kRows) {
+      PatchSource& src = rec.by_perm[SpecJoin(entry->meta->perm)];
+      src.payload = std::static_pointer_cast<const Relation>(entry->artifact);
+      src.delta = delta;
+      src.trie = nullptr;  // reset an inherited trie: set below if resident
+    }
+  }
+  for (const auto& [key, entry] : entries_) {
+    if (key.first != prev.get() || !entry->ready ||
+        entry->meta == nullptr ||
+        entry->meta->kind != PermutedMeta::kTrie) {
+      continue;
+    }
+    const std::string perm = SpecJoin(entry->meta->perm);
+    auto sit = rec.by_perm.find(perm);
+    if (sit != rec.by_perm.end() && sit->second.delta == delta) {
+      // Attach only to a fresh source (same delta): an inherited one
+      // carries the older version's trie, not this entry.
+      sit->second.trie = std::static_pointer_cast<const Trie>(entry->artifact);
+    } else if (sit == rec.by_perm.end()) {
+      // Trie resident without its rows payload (evicted): the trie
+      // layer can still patch even though the rows layer rebuilds.
+      rec.by_perm[perm] = PatchSource{
+          nullptr, delta, std::static_pointer_cast<const Trie>(entry->artifact)};
+    }
+  }
+  if (!rec.by_perm.empty()) patches_[next.get()] = std::move(rec);
+}
+
+bool IndexCache::PeekPatchSource(const std::shared_ptr<const Relation>& base,
+                                 const std::vector<int>& perm,
+                                 PatchSource* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = patches_.find(base.get());
+  if (it == patches_.end()) return false;
+  // ABA guard: honor the record only for the relation it was made for.
+  if (it->second.child.lock() != base) return false;
+  auto pit = it->second.by_perm.find(SpecJoin(perm));
+  if (pit == it->second.by_perm.end()) return false;
+  *out = pit->second;
+  return true;
+}
+
+void IndexCache::ConsumePatchSource(const void* identity,
+                                    const std::vector<int>& perm,
+                                    uint64_t merged_rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.delta_rows_merged += merged_rows;
+  auto it = patches_.find(identity);
+  if (it == patches_.end()) return;
+  auto pit = it->second.by_perm.find(SpecJoin(perm));
+  if (pit == it->second.by_perm.end()) return;
+  pit->second.payload.reset();
+  if (pit->second.trie == nullptr) it->second.by_perm.erase(pit);
+  if (it->second.by_perm.empty()) patches_.erase(it);
+}
+
+void IndexCache::ConsumeTriePatchSource(const void* identity,
+                                        const std::vector<int>& perm) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = patches_.find(identity);
+  if (it == patches_.end()) return;
+  auto pit = it->second.by_perm.find(SpecJoin(perm));
+  if (pit == it->second.by_perm.end()) return;
+  pit->second.trie.reset();
+  if (pit->second.payload == nullptr) it->second.by_perm.erase(pit);
+  if (it->second.by_perm.empty()) patches_.erase(it);
+}
+
+bool IndexCache::EntryIsPatched(const void* identity,
+                                const std::string& spec) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(Key{identity, spec});
+  return it != entries_.end() && it->second->ready && it->second->patched;
+}
+
 bool IndexCache::SweepOnceLocked() {
   // How many pins inside the cache share each source's control block:
   // a source is unreachable when the cache accounts for every one of
@@ -375,6 +569,15 @@ void IndexCache::Sweep() {
   // may have been the last external reference pinning shard entries
   // derived from it — the next pass collects those.
   while (SweepOnceLocked()) {
+  }
+  // Patch records die with their successor relation (their payload
+  // handles are what would otherwise keep dead payloads resident).
+  for (auto it = patches_.begin(); it != patches_.end();) {
+    if (it->second.child.expired()) {
+      it = patches_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -408,6 +611,7 @@ void IndexCache::Clear() {
     }
   }
   entries_.clear();
+  patches_.clear();
 }
 
 void IndexCache::EnforceBudget() {

@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "storage/relation.h"
 #include "storage/trie.h"
+#include "storage/write_batch.h"
 
 namespace adj::storage {
 
@@ -41,6 +42,11 @@ struct IndexBuildStats {
   uint64_t hits = 0;       // artifacts served from the cache
   uint64_t mmap_hits = 0;  // subset of hits served by snapshot-mapped
                            // artifacts (persist warm restore)
+  uint64_t patched = 0;    // artifacts obtained by delta-patching a
+                           // cached payload of the pre-write relation
+                           // version (merge-on-read), not rebuilding
+  uint64_t delta_rows_merged = 0;  // delta rows galloping-merged into
+                                   // patched payloads by this consumer
 };
 
 /// Process-wide cache of index artifacts keyed by (relation identity,
@@ -88,6 +94,9 @@ class IndexCache {
     uint64_t hits = 0;
     uint64_t mmap_hits = 0;  // hits served by snapshot-mapped entries
     uint64_t builds = 0;
+    uint64_t patched_builds = 0;  // entries produced by delta-patching
+                                  // instead of a from-scratch build
+    uint64_t delta_rows_merged = 0;  // total delta rows merged in
     uint64_t build_failures = 0;
     uint64_t evictions = 0;  // Sweep GC + budget evictions
     uint64_t resident_bytes = 0;
@@ -107,6 +116,12 @@ class IndexCache {
   struct BuildResult {
     std::shared_ptr<const void> artifact;
     uint64_t bytes = 0;
+    // Set when the artifact was produced by (or derived from) a
+    // delta-patch of a cached predecessor payload: the entry ticks
+    // `patched` counters rather than `builds`, and hands the flag down
+    // to layers built over it.
+    bool patched = false;
+    uint64_t delta_rows_merged = 0;
   };
   using BuildFn = std::function<StatusOr<BuildResult>()>;
 
@@ -181,6 +196,24 @@ class IndexCache {
                        std::shared_ptr<const Trie> trie,
                        const std::vector<Binding>& bindings);
 
+  /// Registers a delta edge from relation version `prev` to its
+  /// successor `next` (the catalog calls this on every tuple write,
+  /// before the sweep). For every canonical permuted payload of `prev`
+  /// currently resident — plus any payloads `prev` itself inherited
+  /// and never consumed, whose deltas compose — the cache records a
+  /// *patch source*: {payload handle, net delta}. The next
+  /// GetPermuted* miss under `next` then builds its canonical rows by
+  /// permuting + sorting the (small) delta and galloping-merging it
+  /// into the recorded payload — O(delta log n) locate work and run
+  /// copies — instead of re-permuting and re-sorting all of `next`.
+  /// Patch sources hold the payload artifact itself, so they survive
+  /// sweeps/evictions of `prev`'s entries and compaction of the chain;
+  /// they die when consumed, superseded by a newer write, or when
+  /// `next` itself becomes unreachable.
+  void LinkDelta(const std::shared_ptr<const Relation>& prev,
+                 const std::shared_ptr<const Relation>& next,
+                 std::shared_ptr<const DeltaBatch> delta);
+
   /// Garbage collection, run on every catalog generation bump: drops
   /// entries (iterating to a fixpoint, so derived entries chain) whose
   /// pin is held by nothing outside this cache.
@@ -218,9 +251,29 @@ class IndexCache {
     uint64_t lru_tick = 0;
     bool ready = false;
     bool mmap = false;  // adopted from a snapshot (arrays view the map)
+    bool patched = false;  // produced by / derived from a delta patch
     std::shared_ptr<const PermutedMeta> meta;  // permuted layers only
   };
   using Key = std::pair<const void*, std::string>;
+
+  /// One patchable predecessor for (relation, perm): the canonical
+  /// permuted rows of an older version of the relation — and the trie
+  /// over them, when it was resident — plus the net delta separating
+  /// the two versions. Rows and trie are consumed independently (each
+  /// layer patches once); a cleared member means that layer already
+  /// patched or was never resident.
+  struct PatchSource {
+    std::shared_ptr<const Relation> payload;
+    std::shared_ptr<const DeltaBatch> delta;
+    std::shared_ptr<const Trie> trie;
+  };
+  /// Patch sources for one successor relation, keyed by SpecJoin(perm).
+  /// `child` guards against address reuse: a record is only honored
+  /// while child.lock() still yields the relation it was made for.
+  struct PatchRecord {
+    std::weak_ptr<const Relation> child;
+    std::map<std::string, PatchSource> by_perm;
+  };
 
   /// Physical layers under GetPermuted/GetPermutedRelation: the
   /// canonical permuted relation (sorted row payload) and the trie
@@ -228,12 +281,38 @@ class IndexCache {
   /// These tick cache-wide stats but not the consumer's
   /// IndexBuildStats — the labeled top-level artifact accounts for the
   /// consumer-visible hit/build.
+  /// `patched_out`, when given, reports whether the returned payload
+  /// is delta-patched (set on hits too — labeled layers inherit the
+  /// flag); `merged_out` reports delta rows merged *by this call*
+  /// (zero on a hit), so the triggering labeled bind charges the merge
+  /// to its consumer exactly once.
   StatusOr<std::shared_ptr<const Relation>> GetPermutedRows(
       const std::shared_ptr<const Relation>& base, const Schema& schema,
-      const std::vector<int>& perm);
+      const std::vector<int>& perm, bool* patched_out = nullptr,
+      uint64_t* merged_out = nullptr);
   StatusOr<std::shared_ptr<const Trie>> GetPermutedTrie(
       const std::shared_ptr<const Relation>& base, const Schema& schema,
       const std::vector<int>& perm);
+
+  /// Whether the resident entry under (identity, spec) was produced by
+  /// (or derived from) a delta patch — how the labeled layers inherit
+  /// patched-ness from the rows payload they alias.
+  bool EntryIsPatched(const void* identity, const std::string& spec) const;
+
+  /// Takes (without consuming) the patch source for (base, perm), if a
+  /// live record holds one.
+  bool PeekPatchSource(const std::shared_ptr<const Relation>& base,
+                       const std::vector<int>& perm, PatchSource* out) const;
+  /// Clears the source's rows payload (the rows layer has merged),
+  /// crediting `merged_rows` to the cache-wide merge counter; the
+  /// source survives while its trie is still unconsumed.
+  void ConsumePatchSource(const void* identity, const std::vector<int>& perm,
+                          uint64_t merged_rows);
+  /// Clears the source's trie (the trie layer has patched), dropping
+  /// the per-perm source — and the record once empty — when the rows
+  /// side is already consumed.
+  void ConsumeTriePatchSource(const void* identity,
+                              const std::vector<int>& perm);
 
   /// GetOrBuild plus permuted-layer bookkeeping (meta tag, mmap flag
   /// forwarded from adopted builds).
@@ -259,6 +338,12 @@ class IndexCache {
   mutable std::mutex mu_;
   std::condition_variable ready_cv_;
   std::map<Key, std::shared_ptr<Entry>> entries_;
+  // Patch sources keyed by successor-relation address (ABA-guarded by
+  // PatchRecord::child). Payload bytes referenced only from here are
+  // not charged to the budget; records are bounded — consumed on the
+  // next bind, superseded by the next write, or dropped by Sweep once
+  // the successor dies.
+  std::map<const void*, PatchRecord> patches_;
   uint64_t tick_ = 0;
   Stats stats_;
 };

@@ -42,19 +42,180 @@ Trie Trie::Build(const Relation& rel) {
     trie.levels_[l].child_store.push_back(
         static_cast<uint32_t>(trie.levels_[l + 1].values_store.size()));
   }
+  trie.FinishWidths();
+  return trie;
+}
+
+void Trie::FinishWidths() {
   // Widest sibling range per level, so executors can size intersection
   // buffers at Run() without rescanning the index.
-  trie.levels_[0].max_range_width =
-      static_cast<uint32_t>(trie.levels_[0].values_store.size());
+  const int k = arity();
+  if (k == 0) return;
+  levels_[0].max_range_width =
+      static_cast<uint32_t>(levels_[0].vals().size());
   for (int l = 0; l + 1 < k; ++l) {
-    const std::vector<uint32_t>& begin = trie.levels_[l].child_store;
+    std::span<const uint32_t> begin = levels_[l].kids();
     uint32_t widest = 0;
     for (size_t i = 0; i + 1 < begin.size(); ++i) {
       widest = std::max(widest, begin[i + 1] - begin[i]);
     }
-    trie.levels_[l + 1].max_range_width = widest;
+    levels_[l + 1].max_range_width = widest;
   }
-  return trie;
+}
+
+Trie Trie::PatchFrom(const Trie& prev, const Relation& inserts,
+                     const Relation& deletes) {
+  const int k = prev.arity();
+  if (k == 0) return Build(inserts);
+  ADJ_CHECK(inserts.size() == 0 || inserts.arity() == k);
+  ADJ_CHECK(deletes.size() == 0 || deletes.arity() == k);
+  ADJ_CHECK(inserts.size() == 0 || inserts.IsSortedUnique());
+  ADJ_CHECK(deletes.size() == 0 || deletes.IsSortedUnique());
+
+  Trie out;
+  out.levels_.resize(k);
+  for (int l = 0; l < k; ++l) {
+    out.levels_[l].values_store.reserve(prev.levels_[l].vals().size() +
+                                        inserts.size());
+    if (l + 1 < k) {
+      out.levels_[l].child_store.reserve(prev.levels_[l].kids().size() +
+                                         inserts.size());
+    }
+  }
+
+  // Appends the subtrees rooted at prev's level-l nodes [a, b)
+  // verbatim. DFS order makes each subtree slab contiguous per level,
+  // so an untouched run costs one span copy plus a child-offset rebase
+  // per level instead of Build's per-row work.
+  auto copy_subtrees = [&](int l, uint32_t a, uint32_t b) {
+    uint32_t lo = a, hi = b;
+    for (int lev = l; lev < k && lo < hi; ++lev) {
+      std::span<const Value> vals = prev.levels_[lev].vals();
+      std::vector<Value>& dst = out.levels_[lev].values_store;
+      dst.insert(dst.end(), vals.begin() + lo, vals.begin() + hi);
+      if (lev + 1 < k) {
+        std::span<const uint32_t> kids = prev.levels_[lev].kids();
+        std::vector<uint32_t>& kdst = out.levels_[lev].child_store;
+        const uint32_t new_base =
+            static_cast<uint32_t>(out.levels_[lev + 1].values_store.size());
+        const uint32_t old_base = kids[lo];
+        for (uint32_t i = lo; i < hi; ++i) {
+          kdst.push_back(kids[i] - old_base + new_base);
+        }
+        const uint32_t next_lo = kids[lo], next_hi = kids[hi];
+        lo = next_lo;
+        hi = next_hi;
+      }
+    }
+  };
+
+  // Appends rows [r0, r1) of `rel` as freshly built nodes for columns
+  // l..k-1 (Build's inner loop, restricted to one delta group).
+  auto append_rows = [&](int l, const Relation& rel, uint32_t r0,
+                         uint32_t r1) {
+    for (uint32_t r = r0; r < r1; ++r) {
+      std::span<const Value> row = rel.Row(r);
+      int diff = l;
+      if (r > r0) {
+        std::span<const Value> prow = rel.Row(r - 1);
+        while (diff < k && prow[diff] == row[diff]) ++diff;
+      }
+      for (int lev = diff; lev < k; ++lev) {
+        if (lev + 1 < k) {
+          out.levels_[lev].child_store.push_back(static_cast<uint32_t>(
+              out.levels_[lev + 1].values_store.size()));
+        }
+        out.levels_[lev].values_store.push_back(row[lev]);
+      }
+    }
+  };
+
+  // Three-way merge of one sibling range with the delta rows whose
+  // prefix (columns < l) equals the range's. [i0,i1) / [d0,d1) index
+  // insert / delete rows; returns how many nodes level l kept.
+  auto patch = [&](auto&& self, int l, uint32_t plo, uint32_t phi,
+                   uint32_t i0, uint32_t i1, uint32_t d0,
+                   uint32_t d1) -> uint32_t {
+    std::span<const Value> vals = prev.levels_[l].vals();
+    const bool leaf = l + 1 == k;
+    uint32_t emitted = 0;
+    uint32_t p = plo, i = i0, d = d0;
+    while (p < phi || i < i1 || d < d1) {
+      uint64_t next = UINT64_MAX;
+      if (p < phi) next = vals[p];
+      if (i < i1) next = std::min<uint64_t>(next, inserts.Row(i)[l]);
+      if (d < d1) next = std::min<uint64_t>(next, deletes.Row(d)[l]);
+      const Value value = static_cast<Value>(next);
+      const bool in_prev = p < phi && vals[p] == value;
+      uint32_t ie = i, de = d;
+      while (ie < i1 && inserts.Row(ie)[l] == value) ++ie;
+      while (de < d1 && deletes.Row(de)[l] == value) ++de;
+
+      if (in_prev && ie == i && de == d) {
+        // Untouched run: every prev node strictly below the next
+        // delta value copies verbatim, subtree and all.
+        uint64_t next_delta = UINT64_MAX;
+        if (i < i1) next_delta = inserts.Row(i)[l];
+        if (d < d1) next_delta = std::min<uint64_t>(next_delta,
+                                                    deletes.Row(d)[l]);
+        uint32_t run_end = p;
+        while (run_end < phi && vals[run_end] < next_delta) ++run_end;
+        copy_subtrees(l, p, run_end);
+        emitted += run_end - p;
+        p = run_end;
+        continue;
+      }
+      if (!in_prev) {
+        // Nothing of prev here: deletes are dangling no-ops, inserts
+        // open a fresh subtree.
+        if (ie > i) {
+          append_rows(l, inserts, i, ie);
+          ++emitted;
+        }
+        i = ie;
+        d = de;
+        continue;
+      }
+      // A prev node touched by the delta.
+      if (leaf) {
+        // Row-level resolution: deleted unless (defensively)
+        // re-inserted; an insert of a present row keeps one copy.
+        if (de == d || ie > i) {
+          out.levels_[l].values_store.push_back(value);
+          ++emitted;
+        }
+      } else {
+        out.levels_[l].child_store.push_back(static_cast<uint32_t>(
+            out.levels_[l + 1].values_store.size()));
+        out.levels_[l].values_store.push_back(value);
+        const Range children = prev.ChildRange(l, p);
+        const uint32_t kept =
+            self(self, l + 1, children.lo, children.hi, i, ie, d, de);
+        if (kept == 0) {
+          // Every row under this node was deleted: retract it.
+          out.levels_[l].child_store.pop_back();
+          out.levels_[l].values_store.pop_back();
+        } else {
+          ++emitted;
+        }
+      }
+      ++p;
+      i = ie;
+      d = de;
+    }
+    return emitted;
+  };
+  patch(patch, 0, 0, static_cast<uint32_t>(prev.levels_[0].vals().size()), 0,
+        static_cast<uint32_t>(inserts.size()), 0,
+        static_cast<uint32_t>(deletes.size()));
+
+  // Close the child ranges with one-past-the-end sentinels.
+  for (int l = 0; l + 1 < k; ++l) {
+    out.levels_[l].child_store.push_back(
+        static_cast<uint32_t>(out.levels_[l + 1].values_store.size()));
+  }
+  out.FinishWidths();
+  return out;
 }
 
 StatusOr<Trie> Trie::FromMapped(std::vector<MappedLevel> levels,

@@ -54,6 +54,23 @@ class Trie {
   /// (Relation::SortAndDedup). O(rows * arity).
   static Trie Build(const Relation& rel);
 
+  /// Builds the trie over prev's tuples minus `deletes` plus
+  /// `inserts`, by splicing the (small) delta into prev's CSR arrays:
+  /// sibling runs untouched by any delta row — in practice almost the
+  /// whole trie — are appended as bulk span copies with their child
+  /// offsets rebased, and only the nodes on a delta row's prefix path
+  /// are re-merged. This is what makes refreshing a cached index after
+  /// a point write cheaper than Build's per-row scan over all n rows
+  /// (storage::IndexCache's trie-layer delta patch).
+  ///
+  /// Both delta relations must be sorted, duplicate-free, and permuted
+  /// into prev's column order; their row sets must be disjoint
+  /// (storage::Catalog::Apply guarantees all three). Deletes of absent
+  /// rows and inserts of present rows are tolerated as no-ops, and
+  /// prev may be mmap-backed — the result always owns its arrays.
+  static Trie PatchFrom(const Trie& prev, const Relation& inserts,
+                        const Relation& deletes);
+
   /// Wraps externally stored level arrays (e.g. segments of an mmap'ed
   /// snapshot) without copying. Validates the CSR structure — sizes,
   /// offset monotonicity, child bounds, sorted sibling runs — and
@@ -158,6 +175,10 @@ class Trie {
       return mapped ? child_map : std::span<const uint32_t>(child_store);
     }
   };
+  /// Fills every level's max_range_width from the child arrays (the
+  /// final step of Build and PatchFrom).
+  void FinishWidths();
+
   std::vector<Level> levels_;
   // Owns the memory behind mapped levels; null for built tries.
   std::shared_ptr<const void> keepalive_;

@@ -97,30 +97,46 @@ TEST(AdmissionQueueTest, FifoWithinOneLaneAndEmptyPop) {
 }
 
 // ---------------------------------------------------------------------------
-// PreparedQueryCache: LRU + generation invalidation policy. The cached
-// payloads here are empty PreparedQuery handles — the policy under
-// test never runs them.
+// PreparedQueryCache: LRU + per-relation-version invalidation policy.
+// Policy-only tests use empty PreparedQuery handles (no dependencies,
+// so always fresh) against a scratch catalog; the invalidation tests
+// use real prepared queries, whose dependency versions a WriteBatch
+// moves.
 // ---------------------------------------------------------------------------
 
 TEST(PreparedQueryCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  storage::Catalog catalog;
   PreparedQueryCache cache(2);
-  cache.Insert("q1", 1, api::PreparedQuery());
-  cache.Insert("q2", 1, api::PreparedQuery());
-  EXPECT_TRUE(cache.Lookup("q1", 1).has_value());  // refreshes q1
-  cache.Insert("q3", 1, api::PreparedQuery());     // evicts q2 (LRU)
+  cache.Insert("q1", api::PreparedQuery());
+  cache.Insert("q2", api::PreparedQuery());
+  EXPECT_TRUE(cache.Lookup("q1", catalog).has_value());  // refreshes q1
+  cache.Insert("q3", api::PreparedQuery());  // evicts q2 (LRU)
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_FALSE(cache.Lookup("q2", 1).has_value());
-  EXPECT_TRUE(cache.Lookup("q1", 1).has_value());
-  EXPECT_TRUE(cache.Lookup("q3", 1).has_value());
+  EXPECT_FALSE(cache.Lookup("q2", catalog).has_value());
+  EXPECT_TRUE(cache.Lookup("q1", catalog).has_value());
+  EXPECT_TRUE(cache.Lookup("q3", catalog).has_value());
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
-TEST(PreparedQueryCacheTest, GenerationMismatchDropsEntry) {
+TEST(PreparedQueryCacheTest, DependencyVersionMismatchHandsEntryBack) {
+  api::Database db = SmallDatabase(20);
+  api::Session session = db.OpenSession();
+  session.options().num_samples = 64;
+  StatusOr<api::PreparedQuery> prepared = session.Prepare(kPath);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+
   PreparedQueryCache cache(4);
-  cache.Insert("q", 7, api::PreparedQuery());
-  EXPECT_TRUE(cache.Lookup("q", 7).has_value());
-  // The catalog moved on: the entry must be dropped, not served.
-  EXPECT_FALSE(cache.Lookup("q", 8).has_value());
+  cache.Insert("q", std::move(prepared.value()));
+  EXPECT_TRUE(cache.Lookup("q", db.catalog()).has_value());
+
+  // A write moves G's version: the entry must not be served — but it
+  // is handed back for delta-cost re-preparation, not discarded.
+  storage::WriteBatch batch;
+  batch.Insert("G", {Value(100), Value(200)});
+  ASSERT_TRUE(db.Apply(batch).ok());
+  std::optional<api::PreparedQuery> stale;
+  EXPECT_FALSE(cache.Lookup("q", db.catalog(), &stale).has_value());
+  EXPECT_TRUE(stale.has_value());
   EXPECT_EQ(cache.size(), 0u);
   PreparedQueryCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.invalidations, 1u);
@@ -129,21 +145,36 @@ TEST(PreparedQueryCacheTest, GenerationMismatchDropsEntry) {
 }
 
 TEST(PreparedQueryCacheTest, ZeroCapacityDisablesCaching) {
+  storage::Catalog catalog;
   PreparedQueryCache cache(0);
-  cache.Insert("q", 1, api::PreparedQuery());
+  cache.Insert("q", api::PreparedQuery());
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_FALSE(cache.Lookup("q", 1).has_value());
+  EXPECT_FALSE(cache.Lookup("q", catalog).has_value());
 }
 
-TEST(PreparedQueryCacheTest, InsertRaceFirstWinsAtSameGeneration) {
+TEST(PreparedQueryCacheTest, InsertRaceFirstWinsAtSameVersions) {
+  api::Database db = SmallDatabase(24);
+  api::Session session = db.OpenSession();
+  session.options().num_samples = 64;
+  StatusOr<api::PreparedQuery> before = session.Prepare(kPath);
+  ASSERT_TRUE(before.ok()) << before.status();
+
   PreparedQueryCache cache(4);
-  cache.Insert("q", 1, api::PreparedQuery());
-  cache.Insert("q", 1, api::PreparedQuery());  // racing worker's copy
+  cache.Insert("q", *before);
+  cache.Insert("q", *before);  // racing worker's copy: same versions
   EXPECT_EQ(cache.size(), 1u);
-  // A newer generation replaces the stale entry instead.
-  cache.Insert("q", 2, api::PreparedQuery());
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+
+  // A post-write prepared query carries newer dependency versions and
+  // replaces the stale entry instead.
+  storage::WriteBatch batch;
+  batch.Insert("G", {Value(300), Value(400)});
+  ASSERT_TRUE(db.Apply(batch).ok());
+  StatusOr<api::PreparedQuery> after = session.Reprepare(*before);
+  ASSERT_TRUE(after.ok()) << after.status();
+  cache.Insert("q", std::move(after.value()));
   EXPECT_EQ(cache.size(), 1u);
-  EXPECT_TRUE(cache.Lookup("q", 2).has_value());
+  EXPECT_TRUE(cache.Lookup("q", db.catalog()).has_value());
   EXPECT_EQ(cache.stats().invalidations, 1u);
 }
 
@@ -163,13 +194,13 @@ TEST(PreparedQueryCacheTest, MemoryBudgetEvictsByBytesNotEntries) {
   // The entry cap would admit both; the byte budget holds only one —
   // the second insert evicts the first from the LRU tail.
   PreparedQueryCache cache(8, b1 + b2 - 1);
-  cache.Insert(kPath, db.generation(), std::move(p1.value()));
+  cache.Insert(kPath, std::move(p1.value()));
   EXPECT_EQ(cache.resident_bytes(), b1);
-  cache.Insert(kTriangle, db.generation(), std::move(p2.value()));
+  cache.Insert(kTriangle, std::move(p2.value()));
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.resident_bytes(), b2);
-  EXPECT_FALSE(cache.Lookup(kPath, db.generation()).has_value());
-  EXPECT_TRUE(cache.Lookup(kTriangle, db.generation()).has_value());
+  EXPECT_FALSE(cache.Lookup(kPath, db.catalog()).has_value());
+  EXPECT_TRUE(cache.Lookup(kTriangle, db.catalog()).has_value());
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
@@ -194,7 +225,7 @@ TEST(PreparedQueryCacheTest, OversizeEntryIsNeverCached) {
   ASSERT_TRUE(prepared.ok()) << prepared.status();
 
   PreparedQueryCache cache(8, 1);  // 1-byte budget: nothing fits
-  cache.Insert(kPath, db.generation(), std::move(prepared.value()));
+  cache.Insert(kPath, std::move(prepared.value()));
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.resident_bytes(), 0u);
   EXPECT_EQ(cache.stats().oversize_rejects, 1u);
@@ -237,9 +268,11 @@ TEST(ServerTest, CatalogReloadInvalidatesCachedPlan) {
   ASSERT_TRUE(before.ok()) << before.status();
   EXPECT_EQ(server.stats().cache.misses, 1u);
 
-  // Replace "G" behind the server's back (quiesced): the generation
-  // bump must drop the cached plan — the old ExecutionContext aliases
-  // the replaced relation and would serve stale counts.
+  // Replace "G" behind the server's back (quiesced): G's version moves,
+  // so the cached plan must not be served — the old ExecutionContext
+  // aliases the replaced relation and would return stale counts. The
+  // stale entry is refreshed (plan reused, context rebuilt against the
+  // new relation), not re-planned from scratch.
   server.Drain();
   Rng rng(99);
   server.database().AddRelation("G", dataset::ErdosRenyi(40, 300, rng));
@@ -248,13 +281,66 @@ TEST(ServerTest, CatalogReloadInvalidatesCachedPlan) {
   api::Result after = server.Execute(kTriangle);
   ASSERT_TRUE(after.ok()) << after.status();
   EXPECT_EQ(after.count(), fresh_oracle);
-  // Re-prepared from scratch: pays planning again.
-  EXPECT_GT(after.optimize_seconds(), 0.0);
+  // Refreshed via Reprepare: no plan search, no sampling.
+  EXPECT_EQ(after.optimize_seconds(), 0.0);
 
   ServerStats stats = server.stats();
   EXPECT_EQ(stats.cache.invalidations, 1u);
   EXPECT_EQ(stats.cache.misses, 2u);
   EXPECT_EQ(stats.cache.hits, 0u);
+  EXPECT_EQ(stats.reprepared, 1u);
+}
+
+TEST(ServerTest, WriteInvalidatesOnlyPlansReadingTheWrittenRelation) {
+  // Two relations, one cached plan over each. A live write to H must
+  // leave G's cache entry untouched (still a pure hit) and refresh H's
+  // at delta cost: no index rebuilds, only delta patches.
+  Rng rng(31);
+  api::Database db;
+  db.AddRelation("G", dataset::ErdosRenyi(30, 150, rng));
+  db.AddRelation("H", dataset::ErdosRenyi(30, 150, rng));
+  ServerOptions options = FastOptions();
+  // Single simulated server: shard fragments alias the bound indexes,
+  // so the index_builds counter isolates real artifact construction.
+  options.engine.cluster.num_servers = 1;
+  Server server(std::move(db), options);
+
+  const char* kG = "G(a,b) G(b,c)";
+  const char* kH = "H(a,b) H(b,c)";
+  ASSERT_TRUE(server.Execute(kG).ok());
+  ASSERT_TRUE(server.Execute(kH).ok());
+
+  // Live write — no Pause, no Drain.
+  storage::WriteBatch batch;
+  batch.Insert("H", {Value(100), Value(101)});
+  batch.Insert("H", {Value(101), Value(102)});
+  ASSERT_TRUE(server.Apply(batch).ok());
+
+  // G's plan survives the write to H: cache hit, zero index work.
+  api::Result g = server.Execute(kG);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g.optimize_seconds(), 0.0);
+  EXPECT_EQ(g.index_builds(), 0u);
+  EXPECT_EQ(g.index_patched(), 0u);
+
+  // H's plan is refreshed at delta cost: the rerun rebuilds nothing —
+  // its indexes are delta-patched from the pre-write artifacts. (The
+  // oracle runs after the served request: it binds H through the same
+  // shared index cache, and whichever consumer binds first performs —
+  // and is charged — the one-time delta merge.)
+  api::Result h = server.Execute(kH);
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_EQ(h.count(), OracleCount(server.database(), kH));
+  EXPECT_EQ(h.optimize_seconds(), 0.0);
+  EXPECT_EQ(h.index_builds(), 0u);
+  EXPECT_GT(h.index_patched(), 0u);
+  EXPECT_GT(h.delta_rows_merged(), 0u);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.writes_applied, 1u);
+  EXPECT_EQ(stats.reprepared, 1u);
+  EXPECT_EQ(stats.cache.invalidations, 1u);  // H only — G survived
+  EXPECT_EQ(stats.cache.hits, 1u);           // the post-write G request
 }
 
 TEST(ServerTest, DeadlineExceededIsADistinctError) {
