@@ -1,0 +1,418 @@
+// Closed-loop serving-QoS load harness: one serve::Server under an
+// SNB-style mixed workload — interactive clients cycling three query
+// templates, a batch client pushing SubmitBatch work down the batch
+// lane, a background client on a zero-weight scavenger lane, and a
+// writer applying WriteBatch inserts live — measured against a solo
+// (zero-contention) baseline on the same server. Reports p50/p95/p99
+// latency, throughput, and rejection/deadline rates per phase. Gates,
+// each a hard failure for CI's Release leg:
+//
+//   1. single-flight planning: 16 concurrent cold misses for one
+//      canonical key on a fresh server cost exactly 1 plan build
+//      (ServerStats::plan_builds == 1, every other request joins the
+//      flight or hits the cache the build filled), and all 16 agree
+//      on the count;
+//   2. QoS under load: the mixed-load interactive p99 stays within a
+//      fixed multiple of the solo p99 (floored, so a very fast solo
+//      baseline cannot make the gate vacuous) — weighted lanes plus
+//      backpressure must keep interactive latency bounded while batch
+//      work, background work, and live writes compete for the box;
+//   3. sanity: every request completes ok or with the two sanctioned
+//      QoS errors (DeadlineExceeded / ResourceExhausted), and solo
+//      counts per template are identical across repetitions (no
+//      writes happen in the solo phase).
+//
+// Emits BENCH_serve_load.json (CI uploads it) so the serving-latency
+// trajectory is recorded per run. Scale knobs: ADJ_BENCH_SCALE.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "serve/server.h"
+#include "storage/write_batch.h"
+
+namespace adj::bench {
+namespace {
+
+constexpr char kTriangle[] = "G(a,b) G(b,c) G(a,c)";
+constexpr char kPath[] = "G(a,b) G(b,c)";
+constexpr char kSquare[] = "G(a,b) G(b,c) G(c,d) G(d,a)";
+const char* const kTemplates[] = {kTriangle, kPath, kSquare};
+
+constexpr int kColdClients = 16;    // gate 1 fan-in
+constexpr int kSoloOps = 60;        // solo baseline ops (template-cycled)
+constexpr int kInteractive = 6;     // mixed-phase closed-loop clients
+constexpr int kOpsPerClient = 30;   // ops per interactive client
+constexpr int kBatchRounds = 8;     // SubmitBatch calls by the batch client
+constexpr int kBatchSize = 4;       // kPath queries per batch
+constexpr int kBackgroundOps = 8;   // zero-weight-lane submissions
+constexpr int kWriteBatches = 10;   // live WriteBatch applies
+// Gate 2: mixed p99 <= kMaxP99Multiple * max(solo p99, kSoloFloor).
+// Generous on purpose — this box is small and the mixed phase runs
+// ~9 threads against it — but a fairness or single-flight regression
+// shows up as seconds of queueing, far past this bound.
+constexpr double kMaxP99Multiple = 50.0;
+constexpr double kSoloFloor = 0.005;  // 5ms: keeps the gate non-vacuous
+constexpr Value kWriteBase = 2'000'000'000;
+
+serve::ServerOptions LoadOptions() {
+  serve::ServerOptions opts;
+  opts.worker_threads = 4;
+  opts.queue_capacity = 64;
+  opts.cache_capacity = 16;
+  opts.lanes = {{"interactive", 3, 0}, {"batch", 1, 0}, {"background", 0, 16}};
+  opts.engine.cluster.num_servers = ServersFromEnv();
+  opts.engine.num_samples = 200;
+  return opts;
+}
+
+double Percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = size_t(q * double(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// Per-client tally for the closed-loop phases.
+struct ClientTally {
+  std::vector<double> latencies;  // seconds, ok requests only
+  uint64_t ok = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t rejected = 0;
+  uint64_t other_errors = 0;  // anything outside the QoS contract
+};
+
+void RecordResult(const api::Result& r, double seconds, ClientTally* tally) {
+  if (r.ok()) {
+    ++tally->ok;
+    tally->latencies.push_back(seconds);
+  } else if (r.status().code() == StatusCode::kDeadlineExceeded) {
+    ++tally->deadline_expired;
+  } else if (r.status().code() == StatusCode::kResourceExhausted) {
+    ++tally->rejected;
+  } else {
+    std::fprintf(stderr, "FAIL: unexpected request error: %s\n",
+                 r.status().ToString().c_str());
+    ++tally->other_errors;
+  }
+}
+
+int Run() {
+  const double scale = ScaleFromEnv(0.2);
+  PrintHeader("serve load: QoS under closed-loop mixed load (WB scale " +
+              Num(scale) + ")");
+  int failures = 0;
+
+  // -------------------------------------------------------------------
+  // Phase 1 — single-flight gate: 16 threads, one cold key, fresh
+  // server. Exactly one Prepare may run.
+  // -------------------------------------------------------------------
+  uint64_t cold_builds = 0, cold_waits = 0;
+  {
+    StatusOr<api::Database> opened = api::Database::OpenBuiltin("WB", scale);
+    ADJ_CHECK(opened.ok()) << opened.status();
+    serve::Server server(std::move(opened.value()), LoadOptions());
+
+    std::vector<std::thread> clients;
+    std::vector<uint64_t> counts(kColdClients, 0);
+    std::atomic<int> errors{0};
+    for (int t = 0; t < kColdClients; ++t) {
+      clients.emplace_back([&, t] {
+        api::Result r = server.Execute(kTriangle);
+        if (!r.ok()) {
+          errors.fetch_add(1);
+        } else {
+          counts[size_t(t)] = r.count();
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+
+    serve::ServerStats stats = server.stats();
+    cold_builds = stats.plan_builds;
+    cold_waits = stats.plan_waits;
+    std::printf("cold fan-in: %d clients -> plan_builds=%llu plan_waits=%llu "
+                "cache_hits=%llu errors=%d\n",
+                kColdClients, static_cast<unsigned long long>(cold_builds),
+                static_cast<unsigned long long>(cold_waits),
+                static_cast<unsigned long long>(stats.cache.hits),
+                errors.load());
+    if (errors.load() != 0) {
+      std::fprintf(stderr, "FAIL: %d of %d cold-miss requests errored\n",
+                   errors.load(), kColdClients);
+      ++failures;
+    }
+    if (cold_builds != 1) {
+      std::fprintf(stderr,
+                   "FAIL: single-flight: %llu plan builds for %d concurrent "
+                   "cold misses of one key (want exactly 1)\n",
+                   static_cast<unsigned long long>(cold_builds), kColdClients);
+      ++failures;
+    }
+    for (int t = 1; t < kColdClients; ++t) {
+      if (counts[size_t(t)] != counts[0]) {
+        std::fprintf(stderr, "FAIL: cold client %d count %llu != %llu\n", t,
+                     static_cast<unsigned long long>(counts[size_t(t)]),
+                     static_cast<unsigned long long>(counts[0]));
+        ++failures;
+        break;
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Phase 2 — solo baseline: one client, no competition, warm plans.
+  // -------------------------------------------------------------------
+  StatusOr<api::Database> opened = api::Database::OpenBuiltin("WB", scale);
+  ADJ_CHECK(opened.ok()) << opened.status();
+  serve::Server server(std::move(opened.value()), LoadOptions());
+  for (const char* text : kTemplates) {  // warm every template's plan
+    api::Result r = server.Execute(text);
+    ADJ_CHECK(r.ok()) << r.status();
+  }
+
+  ClientTally solo;
+  uint64_t solo_counts[3] = {0, 0, 0};
+  bool solo_counts_stable = true;
+  {
+    WallTimer phase;
+    for (int i = 0; i < kSoloOps; ++i) {
+      const int which = i % 3;
+      WallTimer op;
+      api::Result r = server.Execute(kTemplates[which]);
+      RecordResult(r, op.Seconds(), &solo);
+      if (r.ok()) {
+        if (solo_counts[which] == 0) {
+          solo_counts[which] = r.count();
+        } else if (solo_counts[which] != r.count()) {
+          solo_counts_stable = false;
+        }
+      }
+    }
+    const double solo_wall = phase.Seconds();
+    std::printf("solo: %llu ops in %.3fs (%.1f qps)\n",
+                static_cast<unsigned long long>(solo.ok), solo_wall,
+                double(solo.ok) / solo_wall);
+  }
+  if (!solo_counts_stable) {
+    std::fprintf(stderr,
+                 "FAIL: solo counts drifted across repetitions with no "
+                 "writes applied\n");
+    ++failures;
+  }
+  const double solo_p50 = Percentile(solo.latencies, 0.50);
+  const double solo_p95 = Percentile(solo.latencies, 0.95);
+  const double solo_p99 = Percentile(solo.latencies, 0.99);
+
+  // -------------------------------------------------------------------
+  // Phase 3 — mixed load on the same (warm) server: interactive
+  // clients vs. batch lane vs. background lane vs. live writes.
+  // -------------------------------------------------------------------
+  std::vector<ClientTally> tallies(kInteractive);
+  uint64_t batch_ok = 0, batch_errors = 0, background_ok = 0;
+  std::atomic<int> writer_failures{0};
+  double mixed_wall = 0.0;
+  {
+    WallTimer phase;
+    std::vector<std::thread> threads;
+    // Interactive clients: closed loop, template-cycled; every 10th op
+    // carries a quarter-second deadline as a live QoS probe.
+    for (int c = 0; c < kInteractive; ++c) {
+      threads.emplace_back([&, c] {
+        ClientTally& tally = tallies[size_t(c)];
+        for (int i = 0; i < kOpsPerClient; ++i) {
+          serve::RequestOptions ropts;
+          if (i % 10 == 9) ropts.deadline_seconds = 0.25;
+          WallTimer op;
+          api::Result r = server.Execute(kTemplates[(c + i) % 3], ropts);
+          RecordResult(r, op.Seconds(), &tally);
+        }
+      });
+    }
+    // Batch client: all-or-nothing admission onto the batch lane.
+    threads.emplace_back([&] {
+      for (int round = 0; round < kBatchRounds; ++round) {
+        std::vector<std::string> texts(kBatchSize, kPath);
+        serve::RequestOptions ropts;
+        ropts.lane = 1;
+        auto batch = server.SubmitBatch(texts, ropts);
+        if (!batch.ok()) {
+          // Backpressure is a sanctioned answer for bulk work.
+          if (batch.status().code() != StatusCode::kResourceExhausted) {
+            ++batch_errors;
+          }
+          continue;
+        }
+        for (std::future<api::Result>& f : *batch) {
+          api::Result r = f.get();
+          if (r.ok()) {
+            ++batch_ok;
+          } else if (r.status().code() != StatusCode::kDeadlineExceeded) {
+            ++batch_errors;
+          }
+        }
+      }
+    });
+    // Background client: zero-weight scavenger lane — served only when
+    // the weighted lanes are idle, but must still complete by drain.
+    threads.emplace_back([&] {
+      std::vector<std::future<api::Result>> pending;
+      for (int i = 0; i < kBackgroundOps; ++i) {
+        serve::RequestOptions ropts;
+        ropts.lane = 2;
+        auto submitted = server.Submit(kPath, ropts);
+        if (submitted.ok()) pending.push_back(std::move(*submitted));
+      }
+      for (std::future<api::Result>& f : pending) {
+        if (f.get().ok()) ++background_ok;
+      }
+    });
+    // Writer: live WriteBatch applies — no Pause/Drain choreography.
+    threads.emplace_back([&] {
+      for (int i = 0; i < kWriteBatches; ++i) {
+        const Value v = kWriteBase + Value(2 * i);
+        storage::WriteBatch batch;
+        batch.Insert("G", {v, v + 1});
+        batch.Insert("G", {v + 1, v + 2});
+        if (!server.Apply(batch).ok()) writer_failures.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+    for (std::thread& t : threads) t.join();
+    mixed_wall = phase.Seconds();
+  }
+
+  ClientTally mixed;
+  for (const ClientTally& t : tallies) {
+    mixed.latencies.insert(mixed.latencies.end(), t.latencies.begin(),
+                           t.latencies.end());
+    mixed.ok += t.ok;
+    mixed.deadline_expired += t.deadline_expired;
+    mixed.rejected += t.rejected;
+    mixed.other_errors += t.other_errors;
+  }
+  const double mixed_p50 = Percentile(mixed.latencies, 0.50);
+  const double mixed_p95 = Percentile(mixed.latencies, 0.95);
+  const double mixed_p99 = Percentile(mixed.latencies, 0.99);
+  const double mixed_qps = mixed_wall > 0 ? double(mixed.ok) / mixed_wall : 0;
+  const uint64_t issued = uint64_t(kInteractive) * uint64_t(kOpsPerClient);
+  const double reject_rate = double(mixed.rejected) / double(issued);
+  const double deadline_rate = double(mixed.deadline_expired) / double(issued);
+  const double p99_gate = kMaxP99Multiple * std::max(solo_p99, kSoloFloor);
+
+  serve::ServerStats stats = server.stats();
+  std::printf("solo : p50=%.4fs p95=%.4fs p99=%.4fs (%llu ops)\n", solo_p50,
+              solo_p95, solo_p99, static_cast<unsigned long long>(solo.ok));
+  std::printf("mixed: p50=%.4fs p95=%.4fs p99=%.4fs (%llu ops, %.1f qps, "
+              "reject=%.1f%% deadline=%.1f%%)\n",
+              mixed_p50, mixed_p95, mixed_p99,
+              static_cast<unsigned long long>(mixed.ok), mixed_qps,
+              100 * reject_rate, 100 * deadline_rate);
+  std::printf("mixed: batch_ok=%llu background_ok=%llu writes=%llu "
+              "reprepared=%llu plan_builds=%llu expired(queue=%llu "
+              "planning=%llu)\n",
+              static_cast<unsigned long long>(batch_ok),
+              static_cast<unsigned long long>(background_ok),
+              static_cast<unsigned long long>(stats.writes_applied),
+              static_cast<unsigned long long>(stats.reprepared),
+              static_cast<unsigned long long>(stats.plan_builds),
+              static_cast<unsigned long long>(stats.expired_in_queue),
+              static_cast<unsigned long long>(stats.expired_planning));
+  for (const serve::LaneStats& lane : stats.lanes) {
+    std::printf("lane %-12s accepted=%llu rejected=%llu served=%llu "
+                "failed=%llu\n",
+                lane.name.c_str(),
+                static_cast<unsigned long long>(lane.accepted),
+                static_cast<unsigned long long>(lane.rejected),
+                static_cast<unsigned long long>(lane.served),
+                static_cast<unsigned long long>(lane.failed));
+  }
+
+  // Gate 2: mixed p99 within the fixed multiple of the solo baseline.
+  if (mixed_p99 > p99_gate) {
+    std::fprintf(stderr,
+                 "FAIL: mixed-load p99 %.4fs > %.1fx solo p99 gate %.4fs\n",
+                 mixed_p99, kMaxP99Multiple, p99_gate);
+    ++failures;
+  }
+  // Gate 3: nothing outside the QoS contract, and the mix completed.
+  if (mixed.other_errors != 0 || batch_errors != 0 ||
+      writer_failures.load() != 0) {
+    std::fprintf(stderr,
+                 "FAIL: contract violations: interactive=%llu batch=%llu "
+                 "writer=%d\n",
+                 static_cast<unsigned long long>(mixed.other_errors),
+                 static_cast<unsigned long long>(batch_errors),
+                 writer_failures.load());
+    ++failures;
+  }
+  if (mixed.ok == 0 || background_ok == 0) {
+    std::fprintf(stderr,
+                 "FAIL: starved: interactive_ok=%llu background_ok=%llu — "
+                 "every lane must make progress under mixed load\n",
+                 static_cast<unsigned long long>(mixed.ok),
+                 static_cast<unsigned long long>(background_ok));
+    ++failures;
+  }
+  if (stats.writes_applied != uint64_t(kWriteBatches)) {
+    std::fprintf(stderr, "FAIL: %llu of %d live writes applied\n",
+                 static_cast<unsigned long long>(stats.writes_applied),
+                 kWriteBatches);
+    ++failures;
+  }
+
+  FILE* json = std::fopen("BENCH_serve_load.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"bench\": \"serve_load\",\n"
+        "  \"dataset\": \"WB\",\n"
+        "  \"scale\": %.4f,\n"
+        "  \"cold_clients\": %d,\n"
+        "  \"cold_plan_builds\": %llu,\n"
+        "  \"cold_plan_waits\": %llu,\n"
+        "  \"solo_p50_seconds\": %.6f,\n"
+        "  \"solo_p95_seconds\": %.6f,\n"
+        "  \"solo_p99_seconds\": %.6f,\n"
+        "  \"mixed_p50_seconds\": %.6f,\n"
+        "  \"mixed_p95_seconds\": %.6f,\n"
+        "  \"mixed_p99_seconds\": %.6f,\n"
+        "  \"mixed_p99_gate_seconds\": %.6f,\n"
+        "  \"mixed_throughput_qps\": %.2f,\n"
+        "  \"mixed_interactive_ok\": %llu,\n"
+        "  \"mixed_reject_rate\": %.4f,\n"
+        "  \"mixed_deadline_rate\": %.4f,\n"
+        "  \"batch_ok\": %llu,\n"
+        "  \"background_ok\": %llu,\n"
+        "  \"writes_applied\": %llu,\n"
+        "  \"reprepared\": %llu,\n"
+        "  \"expired_in_queue\": %llu,\n"
+        "  \"expired_planning\": %llu\n"
+        "}\n",
+        scale, kColdClients, static_cast<unsigned long long>(cold_builds),
+        static_cast<unsigned long long>(cold_waits), solo_p50, solo_p95,
+        solo_p99, mixed_p50, mixed_p95, mixed_p99, p99_gate, mixed_qps,
+        static_cast<unsigned long long>(mixed.ok), reject_rate, deadline_rate,
+        static_cast<unsigned long long>(batch_ok),
+        static_cast<unsigned long long>(background_ok),
+        static_cast<unsigned long long>(stats.writes_applied),
+        static_cast<unsigned long long>(stats.reprepared),
+        static_cast<unsigned long long>(stats.expired_in_queue),
+        static_cast<unsigned long long>(stats.expired_planning));
+    std::fclose(json);
+  }
+
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace adj::bench
+
+int main() { return adj::bench::Run(); }

@@ -5,7 +5,18 @@
 namespace adj::api {
 
 std::string Result::ToString() const {
-  if (!ok()) return "error: " + status_.ToString();
+  if (!ok()) {
+    std::string out = "error: " + status_.ToString();
+    if (optimize_seconds() > 0) {
+      // Partial planning cost attributed to a failure (see
+      // PlanningFailure) — render it so a blown budget is visible.
+      char burned[48];
+      std::snprintf(burned, sizeof(burned), " (planning burned %.3fs)",
+                    optimize_seconds());
+      out += burned;
+    }
+    return out;
+  }
   // Strategy names are arbitrary (runtime-registered), so only the
   // fixed-width numeric tail goes through the stack buffer.
   char costs[128];

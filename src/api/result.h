@@ -38,6 +38,17 @@ class Result {
   explicit Result(core::SpjResult run)
       : status_(run.report.status), run_(std::move(run)) {}
 
+  /// A planning failure with the planning time it burned attributed:
+  /// status() carries the error (typically DeadlineExceeded from an
+  /// exhausted planning budget) and optimize_seconds() reports the
+  /// partial planning cost — a failed cold miss is not free, and the
+  /// serve layer surfaces what it cost even though no run happened.
+  static Result PlanningFailure(Status error, double planning_seconds) {
+    Result r(std::move(error));
+    r.run_.report.optimize_s = planning_seconds;
+    return r;
+  }
+
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 

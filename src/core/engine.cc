@@ -76,9 +76,18 @@ query::AttributeOrder AscendingOrder(const query::Query& sub) {
 /// cardinalities keyed by atom mask.
 class EstimationContext {
  public:
+  /// `timer` is the planning run's clock; sub-query sampling stops
+  /// issuing work once it passes `budget_seconds` on that clock (the
+  /// plan search itself is cheap — sampling is where planning time
+  /// goes, so bounding the estimate callbacks bounds the search).
   EstimationContext(const query::Query& q, const storage::Catalog& db,
-                    const EngineOptions& options)
-      : q_(q), db_(db), options_(options) {}
+                    const EngineOptions& options, const WallTimer& timer,
+                    double budget_seconds)
+      : q_(q),
+        db_(db),
+        options_(options),
+        timer_(timer),
+        budget_seconds_(budget_seconds) {}
 
   /// Estimated size of the join of the atoms in `mask` (1.0 if empty).
   double JoinSize(AtomMask mask) {
@@ -92,6 +101,16 @@ class EstimationContext {
       size = exact.ok() ? double(exact->size())
                         : std::numeric_limits<double>::infinity();
     } else {
+      const double remaining = budget_seconds_ - timer_.Seconds();
+      if (remaining <= 0) {
+        // Planning budget gone: no more sampling. Infinity is the
+        // conservative "unknown, assume huge" the search already
+        // handles for failed estimates; Plan's final checkpoint will
+        // turn the exhausted budget into DeadlineExceeded regardless.
+        size = std::numeric_limits<double>::infinity();
+        cache_[mask] = size;
+        return size;
+      }
       query::Query sub = SubQuery(q_, mask);
       sampling::SamplerOptions sopts;
       // Sub-queries are cheaper than the full query; a fraction of the
@@ -101,6 +120,7 @@ class EstimationContext {
       sopts.per_sample_limits = options_.limits;
       sopts.distributed = false;  // the one-time reduction is accounted
                                   // by the main sampling pass
+      sopts.max_total_seconds = remaining;
       StatusOr<sampling::SampleEstimate> est = sampling::SampleCardinality(
           sub, db_, AscendingOrder(sub), sopts, options_.cluster.net,
           options_.cluster.num_servers);
@@ -129,6 +149,8 @@ class EstimationContext {
   const query::Query& q_;
   const storage::Catalog& db_;
   const EngineOptions& options_;
+  const WallTimer& timer_;
+  double budget_seconds_;
   std::map<AtomMask, double> cache_;
   std::map<AttrId, double> distinct_;
   double sampling_seconds_ = 0.0;
@@ -178,8 +200,23 @@ StatusOr<PlanResult> Engine::Plan(const query::Query& q,
   WallTimer timer;
   PlanResult result;
 
+  // Deadline-bounded planning: the budget is checked at the stage
+  // boundaries below, and the sampling passes (the dominant cost) are
+  // themselves clock-bounded to the remaining budget. A request that
+  // cannot plan in time gets DeadlineExceeded here — before any join
+  // work — with the stage it died in.
+  const double budget = options.planning_budget_seconds;
+  auto CheckBudget = [&](const char* stage) -> Status {
+    if (timer.Seconds() < budget) return Status::OK();
+    return Status::DeadlineExceeded(std::string("planning budget (") +
+                                    std::to_string(budget) +
+                                    "s) exhausted during " + stage);
+  };
+  if (budget <= 0) return Status::DeadlineExceeded("planning budget is zero");
+
   StatusOr<ghd::Decomposition> decomp = ghd::FindOptimalGhd(q);
   if (!decomp.ok()) return decomp.status();
+  ADJ_RETURN_IF_ERROR(CheckBudget("GHD search"));
 
   // Main sampling pass over the full query: cardinality + beta_raw +
   // the modeled reduced-database shuffle of Sec. IV. Sample under a
@@ -197,6 +234,7 @@ StatusOr<PlanResult> Engine::Plan(const query::Query& q,
   sopts.seed = options.seed;
   sopts.per_sample_limits = options.limits;
   sopts.distributed = true;
+  sopts.max_total_seconds = budget - timer.Seconds();
   StatusOr<sampling::SampleEstimate> full_est = sampling::SampleCardinality(
       q, *db_, sampling_order, sopts, options.cluster.net,
       options.cluster.num_servers);
@@ -204,8 +242,9 @@ StatusOr<PlanResult> Engine::Plan(const query::Query& q,
     result.sampling_comm_s = full_est->comm.seconds;
     result.beta_raw = full_est->beta_extensions_per_s;
   }
+  ADJ_RETURN_IF_ERROR(CheckBudget("cardinality sampling"));
 
-  EstimationContext ctx(q, *db_, options);
+  EstimationContext ctx(q, *db_, options, timer, budget);
   if (full_est.ok()) {
     // The full-query cardinality is already estimated; seed the
     // sub-query cache so Alg. 2 does not re-sample it.
@@ -222,6 +261,7 @@ StatusOr<PlanResult> Engine::Plan(const query::Query& q,
   // sampling order's key — the artifact the sampling pass above just
   // resolved through the shared cache, so the probe reuses it rather
   // than building anything (the measured rate is memoized per trie).
+  ADJ_RETURN_IF_ERROR(CheckBudget("plan-search setup"));
   in.cost_model.beta_precomputed =
       optimizer::CalibrateBetaPrecomputed(*db_, q, sampling_order);
   if (result.beta_raw > 1.0) {
@@ -252,6 +292,7 @@ StatusOr<PlanResult> Engine::Plan(const query::Query& q,
       options.use_exhaustive_planner ? optimizer::OptimizeExhaustivePlan(in)
                                      : optimizer::OptimizeAdaptivePlan(in);
   if (!plan.ok()) return plan.status();
+  ADJ_RETURN_IF_ERROR(CheckBudget("plan search"));
   result.plan = std::move(plan.value());
   result.explanation = optimizer::ExplainPlan(in, result.plan);
   result.optimize_s = timer.Seconds() + result.sampling_comm_s;

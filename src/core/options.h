@@ -2,6 +2,7 @@
 #define ADJ_CORE_OPTIONS_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,13 @@ struct EngineOptions {
   /// Failure emulation: extension budget ≈ memory overflow, seconds ≈
   /// the paper's 12-hour timeout.
   wcoj::JoinLimits limits;
+  /// Wall-clock budget for Engine::Plan itself (GHD search, sampling,
+  /// calibration, plan search). When the budget runs out mid-planning,
+  /// Plan returns DeadlineExceeded instead of a plan — the serve layer
+  /// maps per-request deadlines here so a cold plan-cache miss fails
+  /// fast rather than overshooting the deadline before the join even
+  /// starts. Infinite (the default) preserves unbounded planning.
+  double planning_budget_seconds = std::numeric_limits<double>::infinity();
   /// Ablations / testing hooks.
   bool use_exhaustive_planner = false;  // oracle plan search (Alg.2 off)
   bool use_exact_estimates = false;     // NaiveJoin-backed cardinalities

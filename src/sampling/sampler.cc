@@ -75,16 +75,23 @@ StatusOr<SampleEstimate> SampleCardinality(const query::Query& q,
     return est;
   }
 
-  // Draw k values with replacement and run pinned Leapfrogs.
+  // Draw k values with replacement and run pinned Leapfrogs. The time
+  // budget is checked between samples: an exhausted budget truncates
+  // the pass and the mean is taken over the samples actually drawn —
+  // at least one always runs so a truncated estimate is still an
+  // estimate, never a division by zero.
   Rng rng(options.seed);
   const uint64_t k = std::max<uint64_t>(1, options.num_samples);
   wcoj::JoinStats stats;
   double sum = 0.0;
+  uint64_t drawn = 0;
   std::vector<Value> sampled;
   sampled.reserve(k);
   for (uint64_t i = 0; i < k; ++i) {
+    if (i > 0 && timer.Seconds() >= options.max_total_seconds) break;
     const Value v = val_a[rng.Uniform(val_a.size())];
     sampled.push_back(v);
+    ++drawn;
     StatusOr<uint64_t> count =
         wcoj::LeapfrogJoin(inputs, order, /*emit=*/nullptr, &stats,
                            options.per_sample_limits, v);
@@ -95,15 +102,15 @@ StatusOr<SampleEstimate> SampleCardinality(const query::Query& q,
     }
     sum += double(*count);
   }
-  est.samples = k;
-  est.cardinality = double(est.val_a_size) * (sum / double(k));
+  est.samples = drawn;
+  est.cardinality = double(est.val_a_size) * (sum / double(drawn));
 
   // Scaled per-level counts: X̄ per level times |val(A)|.
   est.est_tuples_at_level.resize(stats.tuples_at_level.size());
   for (size_t i = 0; i < stats.tuples_at_level.size(); ++i) {
     est.est_tuples_at_level[i] =
         double(est.val_a_size) * double(stats.tuples_at_level[i]) /
-        double(k);
+        double(drawn);
   }
 
   est.seconds = timer.Seconds();

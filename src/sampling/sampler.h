@@ -2,6 +2,7 @@
 #define ADJ_SAMPLING_SAMPLER_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/status.h"
@@ -22,6 +23,12 @@ struct SamplerOptions {
   /// Account the distributed database-reduction shuffle (Sec. IV,
   /// "Distributed Sampling").
   bool distributed = true;
+  /// Total wall-clock budget for this estimation pass. When the clock
+  /// runs out mid-loop the sampler stops early and scales the mean by
+  /// the samples actually drawn — a coarser estimate, not an error.
+  /// SampleEstimate::samples reports the drawn count so callers can
+  /// see the truncation. Infinite (default) = draw all num_samples.
+  double max_total_seconds = std::numeric_limits<double>::infinity();
 };
 
 /// Outcome of one sampling-based estimation run (Sec. IV).

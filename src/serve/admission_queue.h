@@ -2,23 +2,53 @@
 #define ADJ_SERVE_ADMISSION_QUEUE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
 #include <utility>
+#include <vector>
 
 namespace adj::serve {
 
-/// Admission lanes: interactive single queries vs. bulk batch work.
-/// Keeping them separate is what lets the server stay fair — a large
-/// batch admitted first must not starve the single-query lane.
-enum class Lane { kSingle = 0, kBatch = 1 };
+/// Default lane indexes for the historical two-lane configuration:
+/// interactive single queries vs. bulk batch work. Lanes are plain
+/// indexes now — servers may configure any number of them — but the
+/// default ServerOptions keep these two, so the old names stay.
+enum Lane : int { kSingle = 0, kBatch = 1 };
 
-/// Bounded two-lane FIFO with round-robin fairness between lanes —
-/// serve::Server's admission queue. TryPush rejects when the *total*
-/// across both lanes is at capacity (the reject-with-backpressure
-/// signal); Pop alternates lanes whenever both are non-empty, so batch
-/// and single-query admission interleave 1:1 regardless of arrival
-/// order, and falls through to the non-empty lane otherwise.
+/// One admission lane's policy knobs.
+struct LaneConfig {
+  std::string name;     // stats / log label ("interactive", "batch", ...)
+  uint32_t weight = 1;  // service share per scheduling round; 0 = a
+                        // background lane, served only when every
+                        // weighted lane is empty
+  size_t capacity = 0;  // per-lane bound on queued items; 0 = bounded
+                        // only by the queue-wide capacity
+};
+
+/// Bounded N-lane FIFO with weighted round-robin service between lanes
+/// — serve::Server's admission queue. Generalizes the original strict
+/// 1:1 two-lane alternation: each lane carries a `weight`, and Pop
+/// serves lanes in cyclic turns, up to `weight` items per turn
+/// (deficit round-robin with unit-cost items, so integer weights need
+/// no fractional credit). While every lane stays backlogged, lane i
+/// receives exactly weight_i of every sum(weights) consecutive pops,
+/// and the head item of a lane with weight > 0 waits at most
+/// sum(other lanes' weights) pops — the starvation bound
+/// admission_queue_test proves.
+///
+/// An empty lane forfeits its turn without banking credit: service it
+/// missed while empty can never come back as a burst, and — the
+/// regression the fallthrough tests pin down — skipping an empty lane
+/// must not hand the lane that was served in its place a second turn.
+/// Zero-weight lanes are scavengers: they are served (round-robin
+/// among themselves) only when no weighted lane has work.
+///
+/// Capacity: TryPush rejects when the *total* across all lanes is at
+/// capacity (the reject-with-backpressure signal) or when the item's
+/// lane is at its own optional per-lane bound; CanAccept(lane, n) is
+/// the all-or-nothing admission check batches use.
 ///
 /// Not thread-safe: the owner serializes access (serve::Server guards
 /// it with the server mutex). Kept as a standalone template so the
@@ -26,45 +56,108 @@ enum class Lane { kSingle = 0, kBatch = 1 };
 template <typename T>
 class AdmissionQueue {
  public:
-  explicit AdmissionQueue(size_t capacity) : capacity_(capacity) {}
+  /// Back-compat two-lane configuration: "single" and "batch", equal
+  /// weight, no per-lane caps — byte-for-byte the old 1:1 alternation.
+  explicit AdmissionQueue(size_t capacity)
+      : AdmissionQueue(capacity,
+                       {{"single", 1, 0}, {"batch", 1, 0}}) {}
+
+  AdmissionQueue(size_t capacity, std::vector<LaneConfig> lanes)
+      : capacity_(capacity), configs_(std::move(lanes)) {
+    if (configs_.empty()) configs_.push_back({"default", 1, 0});
+    // All-zero weights would starve everything; treat as plain
+    // round-robin.
+    bool any_weighted = false;
+    for (const LaneConfig& lane : configs_) any_weighted |= lane.weight > 0;
+    if (!any_weighted) {
+      for (LaneConfig& lane : configs_) lane.weight = 1;
+    }
+    // Sized construction, not growth: T may be move-only (the server
+    // queues promise-carrying requests), which rules out any vector
+    // relocation of the deques.
+    queues_ = std::vector<std::deque<T>>(configs_.size());
+    budget_ = configs_[0].weight;
+  }
 
   size_t capacity() const { return capacity_; }
-  size_t size() const { return lanes_[0].size() + lanes_[1].size(); }
+  int num_lanes() const { return int(configs_.size()); }
+  const LaneConfig& lane_config(int lane) const {
+    return configs_[size_t(lane)];
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const std::deque<T>& q : queues_) total += q.size();
+    return total;
+  }
+  size_t lane_size(int lane) const { return queues_[size_t(lane)].size(); }
   bool empty() const { return size() == 0; }
 
-  /// Room for `n` more items without exceeding capacity — the
-  /// all-or-nothing admission check for batches.
-  bool CanAccept(size_t n) const { return size() + n <= capacity_; }
+  bool ValidLane(int lane) const {
+    return lane >= 0 && lane < num_lanes();
+  }
 
-  /// Enqueues onto `lane`; false (item not consumed) when full.
-  bool TryPush(Lane lane, T item) {
-    if (!CanAccept(1)) return false;
-    lanes_[int(lane)].push_back(std::move(item));
+  /// Room for `n` more items on `lane` without exceeding the total
+  /// capacity or the lane's own bound — the all-or-nothing admission
+  /// check for batches.
+  bool CanAccept(int lane, size_t n) const {
+    if (!ValidLane(lane)) return false;
+    const LaneConfig& config = configs_[size_t(lane)];
+    if (config.capacity > 0 &&
+        queues_[size_t(lane)].size() + n > config.capacity) {
+      return false;
+    }
+    return size() + n <= capacity_;
+  }
+
+  /// Enqueues onto `lane`; false (item not consumed) when full or the
+  /// lane index is out of range.
+  bool TryPush(int lane, T item) {
+    if (!CanAccept(lane, 1)) return false;
+    queues_[size_t(lane)].push_back(std::move(item));
     return true;
   }
 
-  /// Dequeues the next item under round-robin fairness, with the lane
+  /// Dequeues the next item under weighted round-robin, with the lane
   /// it came from; nullopt when empty.
-  std::optional<std::pair<Lane, T>> Pop() {
-    Lane lane = preferred_;
-    if (lanes_[int(lane)].empty()) lane = Other(lane);
-    std::deque<T>& q = lanes_[int(lane)];
-    if (q.empty()) return std::nullopt;
-    T item = std::move(q.front());
-    q.pop_front();
-    // Alternate: whichever lane served, the other goes first next time.
-    preferred_ = Other(lane);
-    return std::make_pair(lane, std::move(item));
+  std::optional<std::pair<int, T>> Pop() {
+    if (empty()) return std::nullopt;
+    // Serve the turn lane while it has both work and budget. An empty
+    // (or exhausted) lane passes the turn on; the pass grants the next
+    // lane a fresh `weight` budget — never the lane served in the
+    // empty lane's place, which is what kept the old two-lane
+    // fallthrough honest and what the N-lane form must preserve.
+    const int n = num_lanes();
+    for (int scanned = 0; scanned <= 2 * n; ++scanned) {
+      if (budget_ > 0 && !queues_[size_t(cursor_)].empty()) {
+        --budget_;
+        return PopFrom(cursor_);
+      }
+      cursor_ = (cursor_ + 1) % n;
+      budget_ = configs_[size_t(cursor_)].weight;
+    }
+    // Every lane with work has weight 0: scavenge round-robin among
+    // the background lanes, starting past the cursor so they share.
+    for (int step = 1; step <= n; ++step) {
+      const int lane = (cursor_ + step) % n;
+      if (!queues_[size_t(lane)].empty()) return PopFrom(lane);
+    }
+    return std::nullopt;  // unreachable: size() > 0 checked above
   }
 
  private:
-  static Lane Other(Lane lane) {
-    return lane == Lane::kSingle ? Lane::kBatch : Lane::kSingle;
+  std::optional<std::pair<int, T>> PopFrom(int lane) {
+    std::deque<T>& q = queues_[size_t(lane)];
+    T item = std::move(q.front());
+    q.pop_front();
+    return std::make_pair(lane, std::move(item));
   }
 
   size_t capacity_;
-  std::deque<T> lanes_[2];
-  Lane preferred_ = Lane::kSingle;
+  std::vector<LaneConfig> configs_;   // fixed at construction
+  std::vector<std::deque<T>> queues_;  // index-aligned with configs_
+  int cursor_ = 0;        // lane whose turn it is
+  uint32_t budget_ = 0;   // pops the turn lane may still take
 };
 
 }  // namespace adj::serve

@@ -17,11 +17,11 @@ bool DepsFresh(const api::PreparedQuery& prepared,
 
 std::optional<api::PreparedQuery> PreparedQueryCache::Lookup(
     const std::string& key, const storage::Catalog& catalog,
-    std::optional<api::PreparedQuery>* stale) {
+    std::optional<api::PreparedQuery>* stale, bool count_miss) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
-    ++stats_.misses;
+    if (count_miss) ++stats_.misses;
     return std::nullopt;
   }
   if (!DepsFresh(it->second->prepared, catalog)) {
@@ -34,7 +34,7 @@ std::optional<api::PreparedQuery> PreparedQueryCache::Lookup(
     entries_.erase(it->second);
     index_.erase(it);
     ++stats_.invalidations;
-    ++stats_.misses;
+    if (count_miss) ++stats_.misses;
     return std::nullopt;
   }
   entries_.splice(entries_.begin(), entries_, it->second);  // LRU refresh

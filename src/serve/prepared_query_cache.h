@@ -79,9 +79,17 @@ class PreparedQueryCache {
   /// — moved into *stale, so the caller can Reprepare it (reusing its
   /// plan and unchanged bags) instead of planning from scratch. A hit
   /// refreshes the entry's LRU position.
+  ///
+  /// `count_miss = false` keeps a missing key out of Stats::misses:
+  /// the single-flight miss path re-checks the cache (builder
+  /// double-check after registering, waiters after the build) and
+  /// those re-checks are the *same* logical miss the request's first
+  /// Lookup already counted — misses stays "requests that missed",
+  /// not "lookups that missed". Hits and invalidations always count.
   std::optional<api::PreparedQuery> Lookup(
       const std::string& key, const storage::Catalog& catalog,
-      std::optional<api::PreparedQuery>* stale = nullptr);
+      std::optional<api::PreparedQuery>* stale = nullptr,
+      bool count_miss = true);
 
   /// Caches `prepared` (the master copy) under `key`, evicting the
   /// least-recently-used entry at capacity. If `key` is already cached

@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/timer.h"
 #include "core/spj.h"
 #include "query/query.h"
 #include "wcoj/leapfrog.h"
@@ -13,14 +14,32 @@ namespace adj::serve {
 
 using SteadyClock = std::chrono::steady_clock;
 
+namespace {
+
+std::vector<LaneConfig> LanesOrDefault(const ServerOptions& options) {
+  if (!options.lanes.empty()) return options.lanes;
+  return {{"default", 1, 0}};
+}
+
+/// Seconds until `req.deadline`, +inf when the request has none.
+double RemainingSeconds(const bool has_deadline,
+                        const SteadyClock::time_point deadline) {
+  if (!has_deadline) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(deadline - SteadyClock::now()).count();
+}
+
+}  // namespace
+
 Server::Server(api::Database db, ServerOptions options)
     : db_(std::move(db)),
       options_(std::move(options)),
-      session_(db_.OpenSession()),
       cache_(options_.cache_capacity, options_.cache_memory_budget_bytes),
-      queue_(options_.queue_capacity),
+      queue_(options_.queue_capacity, LanesOrDefault(options_)),
       pool_(options_.worker_threads) {
-  session_.options() = options_.engine;
+  stats_.lanes.resize(size_t(queue_.num_lanes()));
+  for (int i = 0; i < queue_.num_lanes(); ++i) {
+    stats_.lanes[size_t(i)].name = queue_.lane_config(i).name;
+  }
   if (options_.index_cache_budget_bytes > 0) {
     db_.catalog().index_cache().set_budget_bytes(
         options_.index_cache_budget_bytes);
@@ -67,21 +86,30 @@ StatusOr<Server::Request> Server::MakeRequest(
 }
 
 StatusOr<std::future<api::Result>> Server::Enqueue(
-    Lane lane, const std::string& text, const RequestOptions& request) {
+    int lane, const std::string& text, const RequestOptions& request) {
+  if (!queue_.ValidLane(lane)) {
+    return Status::InvalidArgument(
+        "lane " + std::to_string(lane) + " out of range (server has " +
+        std::to_string(queue_.num_lanes()) + " lanes)");
+  }
   StatusOr<Request> req = MakeRequest(text, request);
   if (!req.ok()) return req.status();
+  req->lane = lane;
   std::future<api::Result> future = req->promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return Status::Internal("server is shutting down");
     if (!queue_.TryPush(lane, std::move(req.value()))) {
       ++stats_.rejected;
+      ++stats_.lanes[size_t(lane)].rejected;
       return Status::ResourceExhausted(
           "admission queue full (capacity " +
-          std::to_string(options_.queue_capacity) +
-          "): backpressure — retry later");
+          std::to_string(options_.queue_capacity) + ", lane \"" +
+          queue_.lane_config(lane).name +
+          "\"): backpressure — retry later");
     }
     ++stats_.accepted;
+    ++stats_.lanes[size_t(lane)].accepted;
   }
   pool_.Submit([this] { ServeOne(); });
   return future;
@@ -89,11 +117,20 @@ StatusOr<std::future<api::Result>> Server::Enqueue(
 
 StatusOr<std::future<api::Result>> Server::Submit(
     const std::string& query_text, const RequestOptions& request) {
-  return Enqueue(Lane::kSingle, query_text, request);
+  const int lane = request.lane >= 0 ? request.lane : Lane::kSingle;
+  return Enqueue(lane, query_text, request);
 }
 
 StatusOr<std::vector<std::future<api::Result>>> Server::SubmitBatch(
     const std::vector<std::string>& texts, const RequestOptions& request) {
+  const int lane = request.lane >= 0
+                       ? request.lane
+                       : std::min(int(Lane::kBatch), queue_.num_lanes() - 1);
+  if (!queue_.ValidLane(lane)) {
+    return Status::InvalidArgument(
+        "lane " + std::to_string(lane) + " out of range (server has " +
+        std::to_string(queue_.num_lanes()) + " lanes)");
+  }
   std::vector<Request> requests;
   std::vector<std::future<api::Result>> futures;
   requests.reserve(texts.size());
@@ -104,6 +141,7 @@ StatusOr<std::vector<std::future<api::Result>>> Server::SubmitBatch(
       return Status(req.status().code(), "batch query #" + std::to_string(i) +
                                              ": " + req.status().message());
     }
+    req->lane = lane;
     futures.push_back(req->promise.get_future());
     requests.push_back(std::move(req.value()));
   }
@@ -111,17 +149,20 @@ StatusOr<std::vector<std::future<api::Result>>> Server::SubmitBatch(
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return Status::Internal("server is shutting down");
     // All-or-nothing: a half-admitted batch helps nobody.
-    if (!queue_.CanAccept(requests.size())) {
+    if (!queue_.CanAccept(lane, requests.size())) {
       stats_.rejected += requests.size();
+      stats_.lanes[size_t(lane)].rejected += requests.size();
       return Status::ResourceExhausted(
           "admission queue cannot take a batch of " +
           std::to_string(requests.size()) + " (capacity " +
-          std::to_string(options_.queue_capacity) +
-          "): backpressure — retry later");
+          std::to_string(options_.queue_capacity) + ", lane \"" +
+          queue_.lane_config(lane).name +
+          "\"): backpressure — retry later");
     }
     for (Request& req : requests) {
-      queue_.TryPush(Lane::kBatch, std::move(req));  // CanAccept guaranteed
+      queue_.TryPush(lane, std::move(req));  // CanAccept guaranteed
       ++stats_.accepted;
+      ++stats_.lanes[size_t(lane)].accepted;
     }
   }
   for (size_t i = 0; i < requests.size(); ++i) {
@@ -142,37 +183,35 @@ void Server::ServeOne() {
   {
     std::unique_lock<std::mutex> lock(mu_);
     resume_cv_.wait(lock, [this] { return !paused_ || stopping_; });
-    std::optional<std::pair<Lane, Request>> popped = queue_.Pop();
+    std::optional<std::pair<int, Request>> popped = queue_.Pop();
     if (!popped) return;  // defensive: one task is submitted per push
     req = std::move(popped->second);
   }
   api::Result result = ExecuteRequest(req);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    LaneStats& lane = stats_.lanes[size_t(req.lane)];
     if (result.ok()) {
       ++stats_.served;
+      ++lane.served;
     } else {
       ++stats_.failed;
+      ++lane.failed;
     }
   }
   req.promise.set_value(std::move(result));
 }
 
 api::Result Server::ExecuteRequest(Request& req) {
-  double remaining = std::numeric_limits<double>::infinity();
-  if (req.has_deadline) {
-    remaining =
-        std::chrono::duration<double>(req.deadline - SteadyClock::now())
-            .count();
-    if (remaining <= 0) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.expired_in_queue;
-      }
-      return api::Result(Status::DeadlineExceeded(
-          "deadline expired while queued — tighten admission or extend the "
-          "request deadline"));
+  const double remaining = RemainingSeconds(req.has_deadline, req.deadline);
+  if (remaining <= 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.expired_in_queue;
     }
+    return api::Result(Status::DeadlineExceeded(
+        "deadline expired while queued — tighten admission or extend the "
+        "request deadline"));
   }
   // The request's remaining budget only ever tightens the server-wide
   // time limit; mid-join expiry then surfaces as DeadlineExceeded from
@@ -196,28 +235,175 @@ api::Result Server::ExecuteRequest(Request& req) {
   std::optional<api::PreparedQuery> stale;
   std::optional<api::PreparedQuery> prepared =
       cache_.Lookup(req.key, db_.catalog(), &stale);
-  if (!prepared) {
-    // Stale hit: a write moved one of the plan's relations — refresh
-    // at delta cost (plan reused, unchanged bags aliased, written
-    // relations' indexes delta-patched) instead of re-planning. Falls
-    // back to a full Prepare if the refresh fails (e.g. a relation the
-    // plan reads was replaced with an incompatible one).
-    StatusOr<api::PreparedQuery> built =
-        stale ? session_.Reprepare(*stale) : session_.Prepare(req.text);
-    if (stale && built.ok()) {
+  if (prepared) return prepared->Run(limits);
+  return PlanAndRun(req, limits, std::move(stale));
+}
+
+api::Result Server::PlanAndRun(Request& req, wcoj::JoinLimits limits,
+                               std::optional<api::PreparedQuery> stale) {
+  // Single-flight: at most one Prepare/Reprepare per canonical key is
+  // in flight at a time. The first miss registers as the builder;
+  // every concurrent miss for the same key blocks on the builder's
+  // InFlight and then re-reads the cache. A failed build releases the
+  // waiters to retry — the next one through becomes the new builder —
+  // so failures are re-attempted, never cached, exactly like the
+  // IndexCache single-flight one layer down. Each wait is bounded by
+  // the waiter's own deadline.
+  for (;;) {
+    std::shared_ptr<InFlight> flight;
+    bool builder = false;
+    {
       std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.reprepared;
+      auto it = building_.find(req.key);
+      if (it == building_.end()) {
+        flight = std::make_shared<InFlight>();
+        building_.emplace(req.key, flight);
+        builder = true;
+      } else {
+        flight = it->second;
+        ++stats_.plan_waits;
+      }
     }
-    if (stale && !built.ok()) built = session_.Prepare(req.text);
-    if (!built.ok()) return api::Result(built.status());
-    // The master copy stays cached; this request runs its own copy.
-    // Copies share the charge-planning-once flag, so whichever copy
-    // runs first pays optimize_s/precompute_s and every later request
-    // for this key reports both as zero.
-    cache_.Insert(req.key, *built);
-    prepared = std::move(built.value());
+
+    if (!builder) {
+      std::unique_lock<std::mutex> fl(flight->mu);
+      const bool finished =
+          req.has_deadline
+              ? flight->cv.wait_until(fl, req.deadline,
+                                      [&] { return flight->done; })
+              : (flight->cv.wait(fl, [&] { return flight->done; }), true);
+      fl.unlock();
+      if (!finished) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.expired_planning;
+        return api::Result(Status::DeadlineExceeded(
+            "deadline expired while another request was planning this "
+            "query"));
+      }
+      // Builder done: on success the plan is cached — loop, hit, run.
+      // On failure loop anyway: the re-lookup misses and this request
+      // may become the retrying builder (its own deadline and the
+      // planning budget bound the retries). A stale entry surfacing
+      // here (the build landed, then a write staled it) is kept for
+      // that retry's Reprepare.
+      std::optional<api::PreparedQuery> waiter_stale;
+      std::optional<api::PreparedQuery> prepared = cache_.Lookup(
+          req.key, db_.catalog(), &waiter_stale, /*count_miss=*/false);
+      if (prepared) {
+        // The wait ate into the deadline; run with what is left.
+        if (req.has_deadline) {
+          const double left =
+              RemainingSeconds(req.has_deadline, req.deadline);
+          if (left <= 0) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.expired_planning;
+            return api::Result(Status::DeadlineExceeded(
+                "deadline expired while waiting on the shared plan "
+                "build"));
+          }
+          limits.max_seconds = std::min(limits.max_seconds, left);
+        }
+        return prepared->Run(limits);
+      }
+      if (waiter_stale) stale = std::move(waiter_stale);
+      continue;
+    }
+
+    // Builder path. Re-check the cache now that the key is owned: a
+    // previous builder may have inserted between this request's miss
+    // and its registration — then this flight is a no-op to release.
+    // A stale entry surfacing now supersedes one carried in from the
+    // caller's earlier Lookup (it was prepared later).
+    std::optional<api::PreparedQuery> fresh_stale;
+    std::optional<api::PreparedQuery> prepared = cache_.Lookup(
+        req.key, db_.catalog(), &fresh_stale, /*count_miss=*/false);
+    if (fresh_stale) stale = std::move(fresh_stale);
+    StatusOr<api::PreparedQuery> built = Status::OK();
+    double build_seconds = 0.0;
+    bool reprepared = false;
+    if (!prepared) {
+      const double remaining =
+          RemainingSeconds(req.has_deadline, req.deadline);
+      if (remaining <= 0) {
+        built = Status::DeadlineExceeded(
+            "deadline expired before planning could start");
+      } else {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.plan_builds;
+        }
+        // The remaining deadline becomes the planning budget: a cold
+        // miss that cannot plan in time dies inside Engine::Plan with
+        // DeadlineExceeded — before any join work — and the time it
+        // burned is attributed below.
+        api::Session session = db_.OpenSession();
+        session.options() = options_.engine;
+        session.options().planning_budget_seconds = std::min(
+            session.options().planning_budget_seconds, remaining);
+        WallTimer build_timer;
+        // Stale hit: a write moved one of the plan's relations —
+        // refresh at delta cost (plan reused, unchanged bags aliased,
+        // written relations' indexes delta-patched) instead of
+        // re-planning. Falls back to a full Prepare if the refresh
+        // fails (e.g. a relation the plan reads was replaced with an
+        // incompatible one).
+        built = stale ? session.Reprepare(*stale) : session.Prepare(req.text);
+        reprepared = stale && built.ok();
+        if (stale && !built.ok()) built = session.Prepare(req.text);
+        build_seconds = build_timer.Seconds();
+      }
+      if (built.ok()) {
+        // The master copy stays cached; this request runs its own
+        // copy. Copies share the charge-planning-once flag, so
+        // whichever copy runs first pays optimize_s/precompute_s and
+        // every later request for this key reports both as zero.
+        cache_.Insert(req.key, *built);
+        prepared = std::move(built.value());
+      }
+    }
+
+    // Release the flight on every builder exit: erase the registry
+    // entry first (so a post-failure retrier can re-register), then
+    // signal the waiters.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      building_.erase(req.key);
+      if (reprepared) ++stats_.reprepared;
+    }
+    {
+      std::lock_guard<std::mutex> fl(flight->mu);
+      flight->done = true;
+      flight->ok = prepared.has_value();
+    }
+    flight->cv.notify_all();
+
+    if (!prepared) {
+      if (built.status().code() == StatusCode::kDeadlineExceeded) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.expired_planning;
+      }
+      return api::Result::PlanningFailure(built.status(), build_seconds);
+    }
+    // Planning may have consumed most of the deadline; re-derive the
+    // join budget so the run gets only what is actually left — and a
+    // fully consumed deadline returns here without burning any of it.
+    if (req.has_deadline) {
+      const double left = RemainingSeconds(req.has_deadline, req.deadline);
+      if (left <= 0) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.expired_planning;
+        }
+        return api::Result::PlanningFailure(
+            Status::DeadlineExceeded(
+                "deadline expired during planning — the plan is cached "
+                "for the next request"),
+            build_seconds);
+      }
+      limits.max_seconds = std::min(limits.max_seconds, left);
+    }
+    return prepared->Run(limits);
   }
-  return prepared->Run(limits);
 }
 
 Status Server::Apply(const storage::WriteBatch& batch) {

@@ -6,9 +6,11 @@
 #include <cstdint>
 #include <future>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "api/api.h"
@@ -25,9 +27,19 @@ struct ServerOptions {
   /// Worker threads executing admitted requests (dist::ThreadPool
   /// size). Each in-flight request occupies one worker.
   int worker_threads = 4;
-  /// Admission-queue bound across both lanes. Submissions beyond it
+  /// Admission-queue bound across all lanes. Submissions beyond it
   /// are rejected with ResourceExhausted — the backpressure signal.
   size_t queue_capacity = 64;
+  /// The admission lanes: each has a name (per-lane stats label), a
+  /// weighted-round-robin service weight (a backlogged lane receives
+  /// weight/sum(weights) of the pops; weight 0 = background, served
+  /// only when every weighted lane is empty), and an optional per-lane
+  /// queue bound on top of queue_capacity (0 = total bound only). The
+  /// default is the historical pair — lane 0 "single" for Submit, lane
+  /// 1 "batch" for SubmitBatch, equal weight — so existing servers
+  /// behave identically; requests pick a lane via
+  /// RequestOptions::lane. Must be non-empty.
+  std::vector<LaneConfig> lanes = {{"single", 1, 0}, {"batch", 1, 0}};
   /// PreparedQueryCache entry bound (0 disables plan caching).
   size_t cache_capacity = 32;
   /// Byte budget for what the plan cache keeps resident: every cached
@@ -56,10 +68,26 @@ struct ServerOptions {
 /// Per-request knobs.
 struct RequestOptions {
   /// Wall-clock budget from admission to completion; <= 0 uses the
-  /// server default. Expiry — while queued or mid-execution (via
-  /// wcoj::JoinLimits::max_seconds) — yields a DeadlineExceeded
-  /// Result, distinct from queue-full rejection (ResourceExhausted).
+  /// server default. Expiry — while queued, while planning a cold
+  /// miss (the remaining budget bounds Engine::Plan itself), or
+  /// mid-join (via wcoj::JoinLimits::max_seconds) — yields a
+  /// DeadlineExceeded Result, distinct from queue-full rejection
+  /// (ResourceExhausted).
   double deadline_seconds = 0.0;
+  /// Admission lane (index into ServerOptions::lanes); -1 picks the
+  /// call's default — lane 0 for Submit, lane 1 (when configured) for
+  /// SubmitBatch. An index past the configured lanes is
+  /// InvalidArgument at admission.
+  int lane = -1;
+};
+
+/// Per-lane slice of the serving counters.
+struct LaneStats {
+  std::string name;      // ServerOptions::lanes[i].name
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t served = 0;   // completed with an ok() Result
+  uint64_t failed = 0;   // completed with an error Result
 };
 
 /// Aggregate serving counters (monotone since construction).
@@ -71,6 +99,18 @@ struct ServerStats {
   uint64_t expired_in_queue = 0;  // deadline passed before execution
   uint64_t writes_applied = 0;    // successful Server::Apply calls
   uint64_t reprepared = 0;        // stale plans refreshed at delta cost
+  // Single-flight planning: cold plan-cache misses that actually ran
+  // Prepare/Reprepare vs. requests that joined a build already in
+  // flight for their key. N concurrent cold misses for one key cost
+  // plan_builds == 1, plan_waits == N-1 — the de-dup guarantee
+  // bench_serve_load gates.
+  uint64_t plan_builds = 0;
+  uint64_t plan_waits = 0;
+  // Deadlines blown inside the planning phase (the request's own
+  // budget ran out while planning, or while waiting on another
+  // request's in-flight build) — disjoint from expired_in_queue.
+  uint64_t expired_planning = 0;
+  std::vector<LaneStats> lanes;   // index-aligned with options().lanes
   PreparedQueryCache::Stats cache;
 };
 
@@ -80,17 +120,31 @@ struct ServerStats {
 ///
 /// Request lifecycle — Submit parses and normalizes the query text
 /// (parse errors are returned immediately, costing no queue slot),
-/// admits it into a bounded two-lane AdmissionQueue (single-query vs.
-/// batch lane, round-robin fair; full queue → ResourceExhausted), and
-/// hands back a std::future<api::Result>. A worker from the
-/// dist::ThreadPool then pops the request, checks its deadline, looks
-/// up the PreparedQueryCache — fresh hit: runs a copy of the cached
-/// plan; stale hit (a write moved one of the plan's relations):
-/// refreshes it with Session::Reprepare at delta cost, re-caches,
-/// runs; miss: prepares, caches the master, runs — and fulfills the
-/// future. Per-request deadlines map
-/// onto wcoj::JoinLimits::max_seconds, so a request that exceeds its
-/// budget mid-join also completes with DeadlineExceeded. Queries with
+/// admits it into a bounded N-lane AdmissionQueue (weighted
+/// round-robin between lanes per ServerOptions::lanes; full queue →
+/// ResourceExhausted), and hands back a std::future<api::Result>. A
+/// worker from the dist::ThreadPool then pops the request, checks its
+/// deadline, looks up the PreparedQueryCache — fresh hit: runs a copy
+/// of the cached plan; stale hit (a write moved one of the plan's
+/// relations): refreshes it with Session::Reprepare at delta cost,
+/// re-caches, runs; miss: plans and caches the master, runs.
+///
+/// QoS on the miss path (docs/SERVING.md, "QoS"):
+///  - Single-flight planning: concurrent misses for one canonical key
+///    share one Prepare/Reprepare — the first becomes the builder,
+///    the rest block on its completion and then run from the cache
+///    (ServerStats::plan_builds / plan_waits), mirroring the
+///    storage::IndexCache pattern one layer down. A failed build
+///    releases the waiters, and the next one retries as the builder.
+///  - Deadline-bounded planning: a request's remaining budget becomes
+///    EngineOptions::planning_budget_seconds for its own build, so a
+///    cold miss that cannot plan in time returns DeadlineExceeded
+///    *before* burning any join budget, with the partial planning
+///    cost attributed on the Result (Result::PlanningFailure).
+///
+/// Per-request deadlines also map onto
+/// wcoj::JoinLimits::max_seconds, so a request that exceeds its
+/// budget mid-join completes with DeadlineExceeded. Queries with
 /// a proper projection (not preparable today) fall through to direct
 /// Session execution, uncached but still deadline-bounded.
 ///
@@ -112,17 +166,20 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Admits one query onto the single-query lane. Returns the future
-  /// carrying its Result, or: InvalidArgument (unparseable text),
-  /// ResourceExhausted (queue full — retry later), Internal (server
-  /// shutting down). Execution failures are folded into the Result,
-  /// not the Status.
+  /// Admits one query — onto lane 0 unless RequestOptions::lane picks
+  /// another. Returns the future carrying its Result, or:
+  /// InvalidArgument (unparseable text or bad lane index),
+  /// ResourceExhausted (queue or lane full — retry later), Internal
+  /// (server shutting down). Execution failures are folded into the
+  /// Result, not the Status.
   StatusOr<std::future<api::Result>> Submit(
       const std::string& query_text, const RequestOptions& request = {});
 
-  /// Admits `texts` onto the batch lane, all-or-nothing: if the queue
-  /// cannot take the whole batch, nothing is admitted and the call
-  /// returns ResourceExhausted. Futures align index-wise with `texts`.
+  /// Admits `texts` onto the batch lane (lane 1 when configured, else
+  /// lane 0; RequestOptions::lane overrides), all-or-nothing: if the
+  /// queue cannot take the whole batch, nothing is admitted and the
+  /// call returns ResourceExhausted. Futures align index-wise with
+  /// `texts`.
   StatusOr<std::vector<std::future<api::Result>>> SubmitBatch(
       const std::vector<std::string>& texts,
       const RequestOptions& request = {});
@@ -171,13 +228,24 @@ class Server {
   struct Request {
     std::string key;   // normalized cache key (canonical rendering)
     std::string text;  // original text, what Prepare/Run parse
+    int lane = 0;      // admission lane (index into options().lanes)
     bool proper_projection = false;  // not preparable → direct path
     bool has_deadline = false;
     std::chrono::steady_clock::time_point deadline;
     std::promise<api::Result> promise;
   };
 
-  StatusOr<std::future<api::Result>> Enqueue(Lane lane,
+  /// One in-flight plan build, shared by the builder and every waiter
+  /// for the same key. Lives in building_ while the build runs; the
+  /// builder removes it and signals done before fulfilling anything.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;  // build finished (either way)     — guarded by mu
+    bool ok = false;    // build succeeded and was cached  — guarded by mu
+  };
+
+  StatusOr<std::future<api::Result>> Enqueue(int lane,
                                              const std::string& text,
                                              const RequestOptions& request);
   /// Parse + normalize + resolve the deadline (request's, else the
@@ -188,10 +256,15 @@ class Server {
   /// pause, pop under fairness, execute, fulfill the promise.
   void ServeOne();
   api::Result ExecuteRequest(Request& req);
+  /// The single-flight miss path: build (or wait for) the plan for
+  /// req.key, leave the master cached, and run it. `stale` is the
+  /// invalidated entry the caller's Lookup handed over (if any) — the
+  /// builder Reprepares it at delta cost instead of planning fresh.
+  api::Result PlanAndRun(Request& req, wcoj::JoinLimits limits,
+                         std::optional<api::PreparedQuery> stale);
 
   api::Database db_;
   const ServerOptions options_;
-  api::Session session_;  // Prepare()s under options_.engine (const use)
   PreparedQueryCache cache_;
 
   // Serializes Apply (write side) against request execution (read
@@ -206,6 +279,9 @@ class Server {
   bool paused_ = false;            // guarded by mu_
   bool stopping_ = false;          // guarded by mu_
   ServerStats stats_;              // guarded by mu_ (cache part lives in cache_)
+  // Single-flight registry: canonical key → the build in flight for
+  // it. Guarded by mu_; the InFlight's own fields by its mu.
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> building_;
 
   // Last member: destroyed first, so its destructor drains all pending
   // ServeOne tasks while the queue/cache/db above are still alive.

@@ -1,0 +1,294 @@
+// AdmissionQueue in isolation: capacity policy (total + per-lane,
+// all-or-nothing boundaries), weighted round-robin fairness (exact
+// per-cycle shares, starvation bound, oracle-checked random
+// sequences), background lanes, and the empty-lane fallthrough
+// regression. Split out of serve_test so the scheduling policy is
+// covered without bringing up a server.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/admission_queue.h"
+
+namespace adj::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Back-compat two-lane configuration (the original serve_test suite).
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionQueueTest, RejectsWhenFullAcrossBothLanes) {
+  AdmissionQueue<int> q(3);
+  EXPECT_TRUE(q.TryPush(Lane::kSingle, 1));
+  EXPECT_TRUE(q.TryPush(Lane::kBatch, 2));
+  EXPECT_TRUE(q.TryPush(Lane::kBatch, 3));
+  EXPECT_FALSE(q.TryPush(Lane::kSingle, 4));  // total bound, not per-lane
+  EXPECT_FALSE(q.CanAccept(Lane::kSingle, 1));
+  EXPECT_EQ(q.size(), 3u);
+  q.Pop();
+  EXPECT_TRUE(q.CanAccept(Lane::kSingle, 1));
+  EXPECT_FALSE(q.CanAccept(Lane::kSingle, 2));
+}
+
+TEST(AdmissionQueueTest, PopAlternatesLanesWhenBothNonEmpty) {
+  AdmissionQueue<int> q(8);
+  // A batch admitted first must not starve the single lane.
+  for (int i = 0; i < 4; ++i) q.TryPush(Lane::kBatch, 100 + i);
+  q.TryPush(Lane::kSingle, 1);
+  q.TryPush(Lane::kSingle, 2);
+
+  std::vector<int> order;
+  while (auto popped = q.Pop()) order.push_back(popped->first);
+  ASSERT_EQ(order.size(), 6u);
+  // Strict 1:1 interleaving while both lanes are non-empty (the queue
+  // prefers the single lane first), then the batch remainder drains.
+  EXPECT_EQ(order[0], Lane::kSingle);
+  EXPECT_EQ(order[1], Lane::kBatch);
+  EXPECT_EQ(order[2], Lane::kSingle);
+  EXPECT_EQ(order[3], Lane::kBatch);
+  EXPECT_EQ(order[4], Lane::kBatch);
+  EXPECT_EQ(order[5], Lane::kBatch);
+}
+
+TEST(AdmissionQueueTest, FifoWithinOneLaneAndEmptyPop) {
+  AdmissionQueue<int> q(4);
+  q.TryPush(Lane::kSingle, 1);
+  q.TryPush(Lane::kSingle, 2);
+  q.TryPush(Lane::kSingle, 3);
+  EXPECT_EQ(q.Pop()->second, 1);
+  EXPECT_EQ(q.Pop()->second, 2);
+  EXPECT_EQ(q.Pop()->second, 3);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_TRUE(q.empty());
+}
+
+// Regression: serving in an empty lane's place must not hand the
+// substitute lane a second consecutive turn. Scenario — the single
+// lane is empty, so its turn falls through to the batch lane; a single
+// item then arrives. The next pop belongs to the single lane (its
+// priority was never consumed), not to batch again.
+TEST(AdmissionQueueTest, EmptyLaneFallthroughDoesNotDoubleServe) {
+  AdmissionQueue<int> q(8);
+  q.TryPush(Lane::kBatch, 101);
+  q.TryPush(Lane::kBatch, 102);
+
+  auto first = q.Pop();  // single empty → falls through to batch
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->first, Lane::kBatch);
+  EXPECT_EQ(first->second, 101);
+
+  q.TryPush(Lane::kSingle, 1);
+  auto second = q.Pop();  // single's turn was forfeited, not spent
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->first, Lane::kSingle);
+  auto third = q.Pop();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->second, 102);
+}
+
+// ---------------------------------------------------------------------------
+// N weighted lanes.
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionQueueTest, WeightedSharesAreExactPerCycleWhileBacklogged) {
+  AdmissionQueue<int> q(1024, {{"gold", 5, 0}, {"silver", 3, 0},
+                               {"bronze", 1, 0}});
+  ASSERT_EQ(q.num_lanes(), 3);
+  constexpr int kCycles = 8;
+  constexpr int kPerCycle = 5 + 3 + 1;
+  for (int i = 0; i < kCycles * kPerCycle; ++i) {
+    ASSERT_TRUE(q.TryPush(i % 3, i));
+  }
+  // While every lane stays backlogged, each cycle of 9 pops serves
+  // exactly 5 gold, 3 silver, 1 bronze — and contiguously per turn.
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    std::map<int, int> per_lane;
+    std::vector<int> lanes;
+    for (int i = 0; i < kPerCycle; ++i) {
+      auto popped = q.Pop();
+      ASSERT_TRUE(popped.has_value());
+      ++per_lane[popped->first];
+      lanes.push_back(popped->first);
+    }
+    EXPECT_EQ(per_lane[0], 5) << "cycle " << cycle;
+    EXPECT_EQ(per_lane[1], 3) << "cycle " << cycle;
+    EXPECT_EQ(per_lane[2], 1) << "cycle " << cycle;
+    EXPECT_EQ(lanes, (std::vector<int>{0, 0, 0, 0, 0, 1, 1, 1, 2}));
+  }
+}
+
+// Starvation bound: the head item of a lane with weight > 0 is served
+// within sum(other lanes' weights) + 1 pops of entering the head
+// position, no matter how backlogged the other lanes are or where in
+// the schedule it arrives.
+TEST(AdmissionQueueTest, StarvationBoundHoldsAtEveryScheduleOffset) {
+  constexpr uint32_t kWeightA = 5, kWeightB = 3, kWeightC = 1;
+  constexpr int kBound = kWeightA + kWeightB + 1;  // other weights + self
+  const int cycle = kWeightA + kWeightB + kWeightC;
+  for (int offset = 0; offset < cycle; ++offset) {
+    AdmissionQueue<int> q(1024, {{"a", kWeightA, 0},
+                                 {"b", kWeightB, 0},
+                                 {"c", kWeightC, 0}});
+    for (int i = 0; i < 64; ++i) {
+      q.TryPush(0, i);
+      q.TryPush(1, 1000 + i);
+    }
+    // Walk the schedule to an arbitrary point, then enqueue the lone
+    // low-weight item.
+    for (int i = 0; i < offset; ++i) ASSERT_TRUE(q.Pop().has_value());
+    q.TryPush(2, 9999);
+    int waited = 0;
+    for (;;) {
+      auto popped = q.Pop();
+      ASSERT_TRUE(popped.has_value());
+      ++waited;
+      if (popped->first == 2) break;
+      ASSERT_LE(waited, kBound) << "offset " << offset;
+    }
+    EXPECT_LE(waited, kBound) << "offset " << offset;
+  }
+}
+
+// Random push/pop sequences against an independently-formulated
+// oracle: the weighted round-robin schedule flattened into a cyclic
+// position list ("a" at positions 0..3, "b" at 4..5, "c" at 6), a
+// pointer advancing one position per served item and skipping the
+// positions of empty lanes. Both formulations must agree on every
+// admission decision and every (lane, item) served.
+TEST(AdmissionQueueTest, RandomSequencesMatchFlatScheduleOracle) {
+  constexpr size_t kCapacity = 48;
+  const std::vector<LaneConfig> lanes = {{"a", 4, 0}, {"b", 2, 0},
+                                         {"c", 1, 0}};
+  AdmissionQueue<int> q(kCapacity, lanes);
+
+  // The oracle: flat cyclic schedule + plain FIFO deques.
+  std::vector<int> schedule;
+  for (size_t lane = 0; lane < lanes.size(); ++lane) {
+    for (uint32_t w = 0; w < lanes[lane].weight; ++w) {
+      schedule.push_back(int(lane));
+    }
+  }
+  std::vector<std::deque<int>> oracle(lanes.size());
+  size_t pointer = 0;
+  auto oracle_size = [&] {
+    size_t total = 0;
+    for (const auto& lane : oracle) total += lane.size();
+    return total;
+  };
+  auto oracle_pop = [&]() -> std::optional<std::pair<int, int>> {
+    if (oracle_size() == 0) return std::nullopt;
+    for (size_t scanned = 0; scanned <= 2 * schedule.size(); ++scanned) {
+      const int lane = schedule[pointer];
+      if (!oracle[size_t(lane)].empty()) {
+        const int item = oracle[size_t(lane)].front();
+        oracle[size_t(lane)].pop_front();
+        pointer = (pointer + 1) % schedule.size();
+        return std::make_pair(lane, item);
+      }
+      pointer = (pointer + 1) % schedule.size();
+    }
+    return std::nullopt;  // unreachable with all weights > 0
+  };
+
+  Rng rng(2024);
+  int next_item = 0;
+  for (int step = 0; step < 4000; ++step) {
+    if (rng.Uniform(5) < 3) {
+      const int lane = int(rng.Uniform(lanes.size()));
+      const bool oracle_accepts = oracle_size() + 1 <= kCapacity;
+      ASSERT_EQ(q.TryPush(lane, next_item), oracle_accepts) << "step " << step;
+      if (oracle_accepts) oracle[size_t(lane)].push_back(next_item);
+      ++next_item;
+    } else {
+      auto got = q.Pop();
+      auto want = oracle_pop();
+      ASSERT_EQ(got.has_value(), want.has_value()) << "step " << step;
+      if (got) {
+        EXPECT_EQ(got->first, want->first) << "step " << step;
+        EXPECT_EQ(got->second, want->second) << "step " << step;
+      }
+    }
+  }
+  // Drain to empty: the tails must agree item-for-item too.
+  for (;;) {
+    auto got = q.Pop();
+    auto want = oracle_pop();
+    ASSERT_EQ(got.has_value(), want.has_value());
+    if (!got) break;
+    EXPECT_EQ(got->first, want->first);
+    EXPECT_EQ(got->second, want->second);
+  }
+}
+
+TEST(AdmissionQueueTest, ZeroWeightLaneIsServedOnlyWhenWeightedLanesEmpty) {
+  AdmissionQueue<int> q(16, {{"fg", 1, 0}, {"bg", 0, 0}});
+  for (int i = 0; i < 3; ++i) q.TryPush(1, 100 + i);
+  for (int i = 0; i < 3; ++i) q.TryPush(0, i);
+  // All foreground first — background only scavenges idle capacity.
+  for (int i = 0; i < 3; ++i) {
+    auto popped = q.Pop();
+    ASSERT_TRUE(popped.has_value());
+    EXPECT_EQ(popped->first, 0);
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto popped = q.Pop();
+    ASSERT_TRUE(popped.has_value());
+    EXPECT_EQ(popped->first, 1);
+    EXPECT_EQ(popped->second, 100 + i);  // FIFO preserved
+  }
+  // A queue whose every lane has weight 0 degrades to round-robin
+  // rather than serving nothing.
+  AdmissionQueue<int> all_bg(4, {{"x", 0, 0}, {"y", 0, 0}});
+  all_bg.TryPush(0, 1);
+  all_bg.TryPush(1, 2);
+  EXPECT_TRUE(all_bg.Pop().has_value());
+  EXPECT_TRUE(all_bg.Pop().has_value());
+  EXPECT_FALSE(all_bg.Pop().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Capacity: per-lane bounds and all-or-nothing boundaries.
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionQueueTest, PerLaneCapacityBoundsOneLaneOnly) {
+  AdmissionQueue<int> q(8, {{"single", 1, 0}, {"batch", 1, 3}});
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(q.TryPush(1, i));
+  // The batch lane is at its own cap; the total (8) has room.
+  EXPECT_FALSE(q.CanAccept(1, 1));
+  EXPECT_FALSE(q.TryPush(1, 99));
+  EXPECT_TRUE(q.TryPush(0, 0));
+  // Popping a batch item reopens exactly that lane.
+  while (auto popped = q.Pop()) {
+    if (popped->first == 1) break;
+  }
+  EXPECT_TRUE(q.CanAccept(1, 1));
+}
+
+TEST(AdmissionQueueTest, AllOrNothingAdmissionAtExactCapacityBoundaries) {
+  AdmissionQueue<int> q(8, {{"single", 1, 0}, {"batch", 1, 5}});
+  // Exactly the per-lane cap fits; one more does not.
+  EXPECT_TRUE(q.CanAccept(1, 5));
+  EXPECT_FALSE(q.CanAccept(1, 6));
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.TryPush(1, i));
+  // Exactly the remaining total fits on the unbounded lane; one more
+  // does not — the all-or-nothing check a batch submit relies on.
+  EXPECT_TRUE(q.CanAccept(0, 3));
+  EXPECT_FALSE(q.CanAccept(0, 4));
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(q.TryPush(0, i));
+  EXPECT_FALSE(q.CanAccept(0, 1));
+  EXPECT_FALSE(q.CanAccept(1, 1));
+  EXPECT_EQ(q.size(), 8u);
+  // Out-of-range lanes are rejected, never UB.
+  EXPECT_FALSE(q.CanAccept(2, 1));
+  EXPECT_FALSE(q.CanAccept(-1, 1));
+  EXPECT_FALSE(q.TryPush(7, 1));
+}
+
+}  // namespace
+}  // namespace adj::serve

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "api/api.h"
@@ -197,6 +198,33 @@ TEST(PreparedQueryTest, PushesSelectionsDownAtPrepareTime) {
   ASSERT_TRUE(from_plan.ok() && direct.ok());
   EXPECT_EQ(from_plan.count(), direct.count());
   EXPECT_EQ(from_plan.selection_filtered(), direct.selection_filtered());
+}
+
+TEST(PreparedQueryTest, PlanningBudgetBoundsPrepare) {
+  Database db = SmallDatabase(7, 40, 250);
+  Session session = FastSession(db);
+  // A budget no sampler pass can beat: Prepare must give up with
+  // DeadlineExceeded instead of finishing late.
+  session.options().num_samples = 1 << 22;
+  session.options().planning_budget_seconds = 1e-4;
+  StatusOr<PreparedQuery> bounded = session.Prepare(kTriangle);
+  EXPECT_FALSE(bounded.ok());
+  EXPECT_EQ(bounded.status().code(), StatusCode::kDeadlineExceeded);
+
+  // A zero budget fails before any work at all.
+  session.options().planning_budget_seconds = 0.0;
+  EXPECT_EQ(session.Prepare(kTriangle).status().code(),
+            StatusCode::kDeadlineExceeded);
+
+  // The default (infinite) budget is unchanged behavior.
+  session.options().num_samples = 64;
+  session.options().planning_budget_seconds =
+      std::numeric_limits<double>::infinity();
+  StatusOr<PreparedQuery> unbounded = session.Prepare(kTriangle);
+  ASSERT_TRUE(unbounded.ok()) << unbounded.status();
+  Result r = unbounded->Run();
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.count(), OracleCount(db, kTriangle));
 }
 
 TEST(PreparedQueryTest, ProperProjectionIsRejected) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <optional>
@@ -47,54 +49,7 @@ uint64_t OracleCount(const api::Database& db, const std::string& text) {
   return joined->size();
 }
 
-// ---------------------------------------------------------------------------
-// AdmissionQueue: capacity + round-robin fairness policy, in isolation.
-// ---------------------------------------------------------------------------
-
-TEST(AdmissionQueueTest, RejectsWhenFullAcrossBothLanes) {
-  AdmissionQueue<int> q(3);
-  EXPECT_TRUE(q.TryPush(Lane::kSingle, 1));
-  EXPECT_TRUE(q.TryPush(Lane::kBatch, 2));
-  EXPECT_TRUE(q.TryPush(Lane::kBatch, 3));
-  EXPECT_FALSE(q.TryPush(Lane::kSingle, 4));  // total bound, not per-lane
-  EXPECT_FALSE(q.CanAccept(1));
-  EXPECT_EQ(q.size(), 3u);
-  q.Pop();
-  EXPECT_TRUE(q.CanAccept(1));
-  EXPECT_FALSE(q.CanAccept(2));
-}
-
-TEST(AdmissionQueueTest, PopAlternatesLanesWhenBothNonEmpty) {
-  AdmissionQueue<int> q(8);
-  // A batch admitted first must not starve the single lane.
-  for (int i = 0; i < 4; ++i) q.TryPush(Lane::kBatch, 100 + i);
-  q.TryPush(Lane::kSingle, 1);
-  q.TryPush(Lane::kSingle, 2);
-
-  std::vector<Lane> order;
-  while (auto popped = q.Pop()) order.push_back(popped->first);
-  ASSERT_EQ(order.size(), 6u);
-  // Strict 1:1 interleaving while both lanes are non-empty (the queue
-  // prefers the single lane first), then the batch remainder drains.
-  EXPECT_EQ(order[0], Lane::kSingle);
-  EXPECT_EQ(order[1], Lane::kBatch);
-  EXPECT_EQ(order[2], Lane::kSingle);
-  EXPECT_EQ(order[3], Lane::kBatch);
-  EXPECT_EQ(order[4], Lane::kBatch);
-  EXPECT_EQ(order[5], Lane::kBatch);
-}
-
-TEST(AdmissionQueueTest, FifoWithinOneLaneAndEmptyPop) {
-  AdmissionQueue<int> q(4);
-  q.TryPush(Lane::kSingle, 1);
-  q.TryPush(Lane::kSingle, 2);
-  q.TryPush(Lane::kSingle, 3);
-  EXPECT_EQ(q.Pop()->second, 1);
-  EXPECT_EQ(q.Pop()->second, 2);
-  EXPECT_EQ(q.Pop()->second, 3);
-  EXPECT_FALSE(q.Pop().has_value());
-  EXPECT_TRUE(q.empty());
-}
+// AdmissionQueue policy coverage lives in admission_queue_test.cc.
 
 // ---------------------------------------------------------------------------
 // PreparedQueryCache: LRU + per-relation-version invalidation policy.
@@ -505,6 +460,209 @@ TEST(ServerTest, ConcurrentClientsMatchSerialSessionResults) {
   // Each distinct query was prepared at most a handful of times
   // (concurrent first-misses may race), then served from cache.
   EXPECT_GT(stats.cache.hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// QoS: single-flight planning, deadline-bounded planning, weighted
+// lanes (the serve-layer half; queue policy is admission_queue_test).
+// ---------------------------------------------------------------------------
+
+TEST(ServerTest, SixteenConcurrentColdMissesBuildExactlyOnePlan) {
+  api::Database db = SmallDatabase(44, 40, 250);
+  const uint64_t oracle = OracleCount(db, kTriangle);
+  ServerOptions options = FastOptions();
+  options.worker_threads = 4;
+  options.queue_capacity = 32;
+  Server server(std::move(db), options);
+
+  constexpr int kThreads = 16;
+  std::vector<std::thread> clients;
+  std::vector<Status> failures(kThreads, Status::OK());
+  std::vector<uint64_t> counts(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      api::Result r = server.Execute(kTriangle);
+      if (!r.ok()) {
+        failures[size_t(t)] = r.status();
+      } else {
+        counts[size_t(t)] = r.count();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (const Status& s : failures) ASSERT_TRUE(s.ok()) << s;
+  for (uint64_t c : counts) EXPECT_EQ(c, oracle);
+
+  // Single-flight: 16 concurrent cold misses for one canonical key
+  // share one Prepare — every other request either joined the build
+  // in flight or hit the cache the build filled.
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.plan_builds, 1u);
+  EXPECT_EQ(stats.served, uint64_t(kThreads));
+  EXPECT_GE(stats.plan_waits + stats.cache.hits, uint64_t(kThreads - 1));
+}
+
+TEST(ServerTest, DeadlineExpiredWhilePlanningIsDistinctAndAttributed) {
+  ServerOptions options = FastOptions();
+  // A sampling budget that would take seconds on this machine: the
+  // 50ms deadline must expire inside Engine::Plan, not in the queue
+  // and not mid-join.
+  options.engine.num_samples = 1 << 22;
+  Server server(SmallDatabase(43), options);
+
+  api::Result r = server.Execute(kTriangle, {.deadline_seconds = 0.05});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  // Distinct from backpressure (ResourceExhausted) and from a queue
+  // expiry, and it names the phase that died.
+  EXPECT_NE(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("planning"), std::string::npos)
+      << r.status();
+  // The burned planning time is attributed on the failed Result.
+  EXPECT_GT(r.optimize_seconds(), 0.0);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.expired_in_queue, 0u);
+  EXPECT_GE(stats.expired_planning, 1u);
+  EXPECT_EQ(stats.plan_builds, 1u);
+  EXPECT_EQ(stats.served, 0u);
+}
+
+TEST(ServerTest, FailedPlanBuildReleasesWaitersToRetry) {
+  ServerOptions options = FastOptions();
+  options.worker_threads = 4;
+  Server server(SmallDatabase(45), options);
+
+  // Parseable, plannable-looking, but the relation does not exist:
+  // every Prepare fails. Failures must not be cached, must not wedge
+  // the single-flight registry, and must release every waiter.
+  const char* kUnknown = "Q(a,b) Q(b,c)";
+  constexpr int kThreads = 8;
+  std::vector<std::thread> clients;
+  std::vector<Status> statuses(kThreads, Status::OK());
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back(
+        [&, t] { statuses[size_t(t)] = server.Execute(kUnknown).status(); });
+  }
+  for (std::thread& t : clients) t.join();
+  for (const Status& s : statuses) {
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kNotFound) << s;
+  }
+
+  ServerStats stats = server.stats();
+  EXPECT_GE(stats.plan_builds, 1u);
+  EXPECT_EQ(stats.served, 0u);
+  EXPECT_EQ(stats.failed, uint64_t(kThreads));
+  // The registry is clean: the server still plans and serves.
+  api::Result ok = server.Execute(kPath);
+  EXPECT_TRUE(ok.ok()) << ok.status();
+}
+
+TEST(ServerTest, ConcurrentApplyAndHotReadsMatchSerialOracle) {
+  constexpr int kWrites = 8;
+  // Identical twin databases: one served live, one advanced serially
+  // as the oracle. Every count a reader observes under concurrent
+  // writes must equal the oracle count of some write-prefix state —
+  // the reader/writer lock guarantees no torn in-between states.
+  api::Database served = SmallDatabase(41);
+  api::Database replica = SmallDatabase(41);
+  std::vector<uint64_t> oracle_counts = {OracleCount(replica, kPath)};
+  std::vector<storage::WriteBatch> writes;
+  for (int i = 0; i < kWrites; ++i) {
+    storage::WriteBatch batch;
+    const Value base = Value(1'000'000 + 10 * i);
+    batch.Insert("G", {base, base + 1});
+    batch.Insert("G", {base + 1, base + 2});
+    ASSERT_TRUE(replica.Apply(batch).ok());
+    oracle_counts.push_back(OracleCount(replica, kPath));
+    writes.push_back(std::move(batch));
+  }
+
+  ServerOptions options = FastOptions();
+  options.worker_threads = 4;
+  Server server(std::move(served), options);
+  ASSERT_TRUE(server.Execute(kPath).ok());  // warm the cached plan
+
+  std::atomic<bool> stop{false};
+  constexpr int kReaders = 3;
+  std::vector<Status> reader_status(kReaders, Status::OK());
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        api::Result res = server.Execute(kPath);
+        if (!res.ok()) {
+          reader_status[size_t(r)] = res.status();
+          return;
+        }
+        if (std::find(oracle_counts.begin(), oracle_counts.end(),
+                      res.count()) == oracle_counts.end()) {
+          reader_status[size_t(r)] = Status::Internal(
+              "count " + std::to_string(res.count()) +
+              " matches no serial write-prefix state");
+          return;
+        }
+      }
+    });
+  }
+  for (const storage::WriteBatch& batch : writes) {
+    ASSERT_TRUE(server.Apply(batch).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  for (const Status& s : reader_status) EXPECT_TRUE(s.ok()) << s;
+
+  // Quiesced, the served answer is exactly the serial end state.
+  server.Drain();
+  api::Result last = server.Execute(kPath);
+  ASSERT_TRUE(last.ok()) << last.status();
+  EXPECT_EQ(last.count(), oracle_counts.back());
+  EXPECT_EQ(server.stats().writes_applied, uint64_t(kWrites));
+}
+
+TEST(ServerTest, WeightedLanesPerLaneStatsAndValidation) {
+  ServerOptions options = FastOptions();
+  options.lanes = {{"gold", 3, 0}, {"silver", 1, 0}, {"background", 0, 2}};
+  Server server(SmallDatabase(42), options);
+
+  // Default Submit lands on lane 0; RequestOptions::lane redirects.
+  ASSERT_TRUE(server.Execute(kPath).ok());
+  ASSERT_TRUE(server.Execute(kTriangle, {.lane = 1}).ok());
+  StatusOr<std::vector<std::future<api::Result>>> batch =
+      server.SubmitBatch({kPath, kPath}, {.lane = 2});
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  for (auto& f : *batch) EXPECT_TRUE(f.get().ok());
+
+  // The background lane's own capacity (2) rejects a batch of 3 whole,
+  // even though the total capacity has room.
+  server.Pause();
+  StatusOr<std::vector<std::future<api::Result>>> too_big =
+      server.SubmitBatch({kPath, kPath, kPath}, {.lane = 2});
+  EXPECT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kResourceExhausted);
+  server.Resume();
+  server.Drain();
+
+  // An out-of-range lane is an admission-time error, not a crash.
+  StatusOr<std::future<api::Result>> bad = server.Submit(kPath, {.lane = 7});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  ServerStats stats = server.stats();
+  ASSERT_EQ(stats.lanes.size(), 3u);
+  EXPECT_EQ(stats.lanes[0].name, "gold");
+  EXPECT_EQ(stats.lanes[1].name, "silver");
+  EXPECT_EQ(stats.lanes[2].name, "background");
+  EXPECT_EQ(stats.lanes[0].accepted, 1u);
+  EXPECT_EQ(stats.lanes[1].accepted, 1u);
+  EXPECT_EQ(stats.lanes[2].accepted, 2u);
+  EXPECT_EQ(stats.lanes[2].rejected, 3u);
+  EXPECT_EQ(stats.lanes[0].served + stats.lanes[1].served +
+                stats.lanes[2].served,
+            4u);
+  EXPECT_EQ(stats.rejected, 3u);
 }
 
 TEST(ServerTest, DestructorFulfillsEveryAdmittedFuture) {
