@@ -5,7 +5,9 @@
 //     shape: a sparse probe side against a dense value run, where the
 //     block compare retires a vector's worth of the dense side per
 //     instruction. Skipped (and recorded as such) when the CPU offers
-//     no SIMD kernel.
+//     no SIMD kernel. A second shape gates the dense similar-size
+//     all-pairs kernel: both sides dense and equal-length, where the
+//     shuffle-compare variant must beat scalar by >= 1.2x.
 //  2. Allocation-free joins — the number of heap allocations during a
 //     LeapfrogJoin must not depend on data size: a join over a 10x
 //     larger graph must allocate exactly as many times (the fixed
@@ -63,6 +65,7 @@ using wcoj::intersect::KernelStats;
 using wcoj::intersect::SetKernel;
 
 constexpr double kMinKernelRatio = 1.5;
+constexpr double kMinDenseRatio = 1.2;  // all-pairs kernel vs scalar
 constexpr double kMaxE2eRatio = 1.10;  // dispatched / scalar, warm
 
 /// Strictly increasing values with ~1/(1 + max_gap/2) density — gap
@@ -189,6 +192,52 @@ int Run() {
               KernelName(simd), set_size, n_scalar, scalar_s, simd_s,
               kernel_ratio);
 
+  // ---- Gate 1b: the dense similar-size shape, where block-compare
+  // merging only ties scalar (one probe retired per compare). Both
+  // sides dense (avg gap 1.5) and equal-length, values-only — the
+  // conditions under which Intersect2 dispatches the all-pairs
+  // shuffle kernel. It must beat scalar by >= 1.2x.
+  Rng dense_rng(43);
+  const size_t dense_size = static_cast<size_t>(1'000'000 * scale);
+  const std::vector<Value> da = GapWalk(dense_rng, dense_size, 2);
+  const std::vector<Value> db = GapWalk(dense_rng, dense_size, 2);
+  std::vector<Value> dense_out(dense_size);
+  size_t n_dense_scalar = 0, n_dense_auto = 0;
+  const double dense_scalar_s =
+      TimeKernel(Kernel::kScalar, da, db, &dense_out, reps, &n_dense_scalar);
+  double dense_auto_s = 0.0;
+  double dense_ratio = 0.0;
+  if (have_simd) {
+    // Values-only dispatched call: Intersect2 selects the dense
+    // all-pairs kernel (TimeKernel's fixed variants would not).
+    KernelStats dense_stats;
+    for (int r = 0; r < reps; ++r) {
+      WallTimer t;
+      n_dense_auto = Intersect2(da, db, dense_out.data(), nullptr, 1,
+                                nullptr, 1, &dense_stats);
+      const double s = t.Seconds();
+      if (r == 0 || s < dense_auto_s) dense_auto_s = s;
+    }
+    dense_ratio = dense_auto_s > 0 ? dense_scalar_s / dense_auto_s
+                                   : kMinDenseRatio * 10;
+    if (n_dense_auto != n_dense_scalar) {
+      std::fprintf(stderr, "FAIL: dense result size %zu != scalar %zu\n",
+                   n_dense_auto, n_dense_scalar);
+      ++failures;
+    }
+    if (dense_ratio < kMinDenseRatio) {
+      std::fprintf(stderr,
+                   "FAIL: dense all-pairs speedup %.2fx < %.1fx over "
+                   "scalar\n",
+                   dense_ratio, kMinDenseRatio);
+      ++failures;
+    }
+  }
+  std::printf("dense: n=%zu common=%zu scalar=%.4fs dispatched=%.4fs "
+              "ratio=%.2fx\n",
+              dense_size, n_dense_scalar, dense_scalar_s, dense_auto_s,
+              dense_ratio);
+
   // ---- Gate 2: join allocation count is workload-independent.
   Rng graph_rng(7);
   const uint64_t small_edges = static_cast<uint64_t>(30'000 * scale);
@@ -278,6 +327,9 @@ int Run() {
                  "  \"scalar_seconds\": %.6f,\n"
                  "  \"simd_seconds\": %.6f,\n"
                  "  \"kernel_ratio\": %.2f,\n"
+                 "  \"dense_scalar_seconds\": %.6f,\n"
+                 "  \"dense_dispatched_seconds\": %.6f,\n"
+                 "  \"dense_ratio\": %.2f,\n"
                  "  \"join_allocs_small\": %llu,\n"
                  "  \"join_allocs_big\": %llu,\n"
                  "  \"e2e_scalar_seconds\": %.6f,\n"
@@ -285,7 +337,7 @@ int Run() {
                  "  \"e2e_ratio\": %.3f\n"
                  "}\n",
                  scale, KernelName(simd), set_size, scalar_s, simd_s,
-                 kernel_ratio,
+                 kernel_ratio, dense_scalar_s, dense_auto_s, dense_ratio,
                  static_cast<unsigned long long>(small_run.allocs),
                  static_cast<unsigned long long>(big_run.allocs),
                  scalar_join.seconds, auto_join.seconds, e2e_ratio);

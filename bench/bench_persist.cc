@@ -10,6 +10,14 @@
 //      to a snapshot-mapped artifact,
 //   3. the first warm run reports index_builds == 0 and a nonzero
 //      index_mmap_loaded count, with the same answer as the cold run.
+//   4. the v3 snapshot of the same catalog is smaller than the v2 one:
+//      v3 stores each trie level once in its execution form (raw or
+//      block-compressed) where v2 stored raw levels plus a compressed
+//      mirror — dropping the dual encoding must show up on disk.
+//
+// The warm path maps the v3 file, so gates 2 and 3 also prove that
+// compressed trie levels load with zero re-encode and zero builds
+// (the index cache compresses tries by default).
 //
 // Emits BENCH_persist.json so the restart-latency trajectory is
 // recorded per run. Scale knobs: ADJ_BENCH_SCALE (bench_util.h).
@@ -18,6 +26,7 @@
 
 #include "bench/bench_util.h"
 #include "common/timer.h"
+#include "persist/snapshot.h"
 #include "storage/edge_list_io.h"
 
 namespace adj::bench {
@@ -32,6 +41,10 @@ int Run() {
   const double scale = ScaleFromEnv(4.0);
   const std::string edges_path = "bench_persist_edges.txt";
   const std::string snap_path = "bench_persist.adjsnap";
+  const std::string snap_v2_path = "bench_persist_v2.adjsnap";
+  uint64_t v3_file_bytes = 0;
+  uint64_t v2_file_bytes = 0;
+  uint64_t v3_compressed_levels = 0;
 
   // Stage 0: author the two on-disk inputs from one WB instance — the
   // text edge list the cold path parses, and the snapshot the warm
@@ -51,8 +64,18 @@ int Run() {
     ADJ_CHECK(prepared.ok()) << prepared.status();
     api::Result r = prepared->Run();
     ADJ_CHECK(r.ok()) << r.status();
-    Status saved = db->Save(snap_path);
-    ADJ_CHECK(saved.ok()) << saved;
+    // Write both snapshot versions of the same warmed catalog: v3 is
+    // what the warm path opens; v2 exists only so gate 4 can measure
+    // what dropping the dual trie encoding saves.
+    StatusOr<persist::WriteStats> v3_stats = persist::SnapshotWriter::Write(
+        db->catalog(), snap_path, {.version = persist::kVersion});
+    ADJ_CHECK(v3_stats.ok()) << v3_stats.status();
+    v3_file_bytes = v3_stats->file_bytes;
+    v3_compressed_levels = v3_stats->compressed_levels;
+    StatusOr<persist::WriteStats> v2_stats = persist::SnapshotWriter::Write(
+        db->catalog(), snap_v2_path, {.version = persist::kMinVersion});
+    ADJ_CHECK(v2_stats.ok()) << v2_stats.status();
+    v2_file_bytes = v2_stats->file_bytes;
   }
 
   // Cold restart: parse the edge list, then Prepare — which builds
@@ -102,6 +125,16 @@ int Run() {
       static_cast<unsigned long long>(prepare_builds),
       static_cast<unsigned long long>(warm.index_builds()),
       static_cast<unsigned long long>(warm.index_mmap_loaded()));
+  std::printf(
+      "snapshot size: v3=%llu v2=%llu bytes (%.1f%% smaller, "
+      "%llu compressed levels)\n",
+      static_cast<unsigned long long>(v3_file_bytes),
+      static_cast<unsigned long long>(v2_file_bytes),
+      v2_file_bytes > 0
+          ? 100.0 * (1.0 - static_cast<double>(v3_file_bytes) /
+                               static_cast<double>(v2_file_bytes))
+          : 0.0,
+      static_cast<unsigned long long>(v3_compressed_levels));
 
   FILE* json = std::fopen("BENCH_persist.json", "w");
   if (json != nullptr) {
@@ -119,14 +152,20 @@ int Run() {
                  "  \"warm_prepare_seconds\": %.6f,\n"
                  "  \"warm_prepare_builds\": %llu,\n"
                  "  \"warm_run_index_builds\": %llu,\n"
-                 "  \"warm_run_index_mmap\": %llu\n"
+                 "  \"warm_run_index_mmap\": %llu,\n"
+                 "  \"v3_file_bytes\": %llu,\n"
+                 "  \"v2_file_bytes\": %llu,\n"
+                 "  \"v3_compressed_levels\": %llu\n"
                  "}\n",
                  kQuery, scale,
                  static_cast<unsigned long long>(warm.count()), cold_load_s,
                  cold_prepare_s, open_s, speedup, warm_prepare_s,
                  static_cast<unsigned long long>(prepare_builds),
                  static_cast<unsigned long long>(warm.index_builds()),
-                 static_cast<unsigned long long>(warm.index_mmap_loaded()));
+                 static_cast<unsigned long long>(warm.index_mmap_loaded()),
+                 static_cast<unsigned long long>(v3_file_bytes),
+                 static_cast<unsigned long long>(v2_file_bytes),
+                 static_cast<unsigned long long>(v3_compressed_levels));
     std::fclose(json);
   }
 
@@ -156,8 +195,17 @@ int Run() {
                  static_cast<unsigned long long>(cold.count()));
     ++failures;
   }
+  if (v3_file_bytes >= v2_file_bytes) {
+    std::fprintf(stderr,
+                 "FAIL: v3 snapshot %llu bytes >= v2 %llu (dropping the "
+                 "dual trie encoding must shrink the file)\n",
+                 static_cast<unsigned long long>(v3_file_bytes),
+                 static_cast<unsigned long long>(v2_file_bytes));
+    ++failures;
+  }
   std::remove(edges_path.c_str());
   std::remove(snap_path.c_str());
+  std::remove(snap_v2_path.c_str());
   return failures == 0 ? 0 : 1;
 }
 

@@ -98,6 +98,13 @@ class Result {
   }
   uint64_t scalar_fallbacks() const { return run_.report.scalar_fallbacks; }
 
+  /// Compressed-storage accounting: resident bytes of block-compressed
+  /// trie levels across the distinct indexes this run bound (0 when
+  /// the bound tries are all raw), and how many compressed blocks the
+  /// kernels decoded into scratch while joining.
+  uint64_t compressed_bytes() const { return run_.report.compressed_bytes; }
+  uint64_t blocks_decoded() const { return run_.report.blocks_decoded; }
+
   /// Full underlying execution report (shuffle volumes, per-level
   /// intermediate counts, plan description).
   const exec::RunReport& report() const { return run_.report; }

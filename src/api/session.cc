@@ -82,10 +82,16 @@ StatusOr<PreparedQuery> Session::Prepare(const std::string& query_text) const {
   // run binds without building (the per-server shard artifacts are
   // built once, by the first run).
   size_t mmap_loaded = 0;
+  size_t compressed = 0;
+  uint64_t compressed_bytes = 0;
+  std::set<const storage::Trie*> counted_tries;
   for (const auto& index : ctx->pinned_indexes) {
-    if (index != nullptr && index->trie != nullptr &&
-        index->trie->mmap_backed()) {
-      ++mmap_loaded;
+    if (index == nullptr || index->trie == nullptr) continue;
+    if (index->trie->mmap_backed()) ++mmap_loaded;
+    if (index->trie->any_compressed() &&
+        counted_tries.insert(index->trie.get()).second) {
+      ++compressed;
+      compressed_bytes += index->trie->CompressedBytes();
     }
   }
   planned->explanation +=
@@ -94,6 +100,13 @@ StatusOr<PreparedQuery> Session::Prepare(const std::string& query_text) const {
       std::to_string(ctx->ResidentBytes()) +
       " bytes resident; every run binds prebuilt, shard indexes build "
       "once on the first run)\n";
+  if (compressed > 0) {
+    planned->explanation +=
+        "compressed tries: " + std::to_string(compressed) + " (" +
+        std::to_string(compressed_bytes) +
+        " bytes encoded; kernels intersect blocks directly via the "
+        "skip table)\n";
+  }
   planned->explanation +=
       std::string("intersection kernel: ") +
       wcoj::intersect::KernelName(wcoj::intersect::ActiveKernel()) +

@@ -263,8 +263,12 @@ StatusOr<PlanResult> Engine::Plan(const query::Query& q,
   // than building anything (the measured rate is memoized per trie).
   ADJ_RETURN_IF_ERROR(CheckBudget("plan-search setup"));
   in.cost_model.beta_precomputed =
-      optimizer::CalibrateBetaPrecomputed(*db_, q, sampling_order);
-  if (result.beta_raw > 1.0) {
+      options.beta_precomputed_override > 0
+          ? options.beta_precomputed_override
+          : optimizer::CalibrateBetaPrecomputed(*db_, q, sampling_order);
+  if (options.beta_raw_override > 0) {
+    in.cost_model.beta_raw = options.beta_raw_override;
+  } else if (result.beta_raw > 1.0) {
     in.cost_model.beta_raw =
         std::min(result.beta_raw, in.cost_model.beta_precomputed);
   }
@@ -414,8 +418,9 @@ StatusOr<ExecutionContext> Engine::PrepareExecution(
     }
     if (b.index->trie != nullptr &&
         counted.insert(b.index->trie.get()).second) {
-      ctx.pinned_index_bytes +=
-          b.index->trie->StorageValues() * sizeof(Value);
+      // ResidentBytes, not logical values: block-compressed levels pin
+      // only their encoded footprint.
+      ctx.pinned_index_bytes += b.index->trie->ResidentBytes();
     }
     ctx.pinned_indexes.push_back(std::move(b.index));
   }
@@ -453,6 +458,8 @@ StatusOr<exec::RunReport> Engine::RunPrepared(const ExecutionContext& ctx,
   report.extensions = run->report.extensions;
   report.simd_intersections = run->report.simd_intersections;
   report.scalar_fallbacks = run->report.scalar_fallbacks;
+  report.compressed_bytes = run->report.compressed_bytes;
+  report.blocks_decoded = run->report.blocks_decoded;
   report.index_builds = run->report.index_builds;
   report.index_reused = run->report.index_reused;
   report.index_mmap = run->report.index_mmap;

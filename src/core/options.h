@@ -56,6 +56,13 @@ struct EngineOptions {
   /// Ablations / testing hooks.
   bool use_exhaustive_planner = false;  // oracle plan search (Alg.2 off)
   bool use_exact_estimates = false;     // NaiveJoin-backed cardinalities
+  /// Fixed extension rates replacing the measured calibration (>0 =
+  /// use this value, skip measuring). Plan choice — notably the
+  /// precompute-vs-inline decision — adapts to measured seek rates, so
+  /// tests that assert a specific plan shape pin both rates to make
+  /// planning deterministic on slow or instrumented hardware.
+  double beta_precomputed_override = 0.0;
+  double beta_raw_override = 0.0;
 };
 
 }  // namespace adj::core

@@ -176,7 +176,7 @@ uint64_t ShardedRelation::Bytes() const {
   for (const Fragment& frag : per_server) {
     if (frag.block != nullptr) bytes += frag.block->SizeBytes();
     if (frag.trie != nullptr) {
-      bytes += frag.trie->StorageValues() * sizeof(Value);
+      bytes += frag.trie->ResidentBytes();
     }
   }
   return bytes;
@@ -315,7 +315,7 @@ StatusOr<HCubeResult> HCubeShuffle(const std::vector<HCubeInput>& inputs,
         result.comm.bytes += frag.wire_bytes;
       }
       shard.resident_bytes += frag.block->SizeBytes();
-      shard.resident_bytes += frag.trie->StorageValues() * sizeof(Value);
+      shard.resident_bytes += frag.trie->ResidentBytes();
       shard.attrs.push_back(inputs[i].attrs);
       shard.atoms.push_back(frag.block);
       shard.tries.push_back(frag.trie);

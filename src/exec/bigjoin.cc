@@ -13,25 +13,39 @@ namespace {
 
 using storage::Trie;
 
-/// Intersects k sibling ranges (sorted value runs) through the shared
-/// kernel layer, appending common values to `out`.
+/// Intersects k sibling ranges (sorted value runs, raw or
+/// block-compressed) through the shared kernel layer, appending common
+/// values to `out`. `views` and `caches` (one block-decode cache per
+/// participant) are caller state reused across bindings — consecutive
+/// bindings probe adjacent ranges, so most block decodes hit.
 void IntersectRanges(const std::vector<const Trie*>& tries,
                      const std::vector<int>& levels,
                      const std::vector<Trie::Range>& ranges,
-                     std::vector<Value>* out) {
+                     std::vector<wcoj::intersect::RunView>* views,
+                     storage::blockcodec::DecodeCache* caches,
+                     std::vector<Value>* out, uint64_t* blocks_decoded) {
+  namespace in = wcoj::intersect;
   const int k = static_cast<int>(tries.size());
-  std::vector<std::span<const Value>> views(static_cast<size_t>(k));
+  views->resize(static_cast<size_t>(k));
   size_t cap = std::numeric_limits<size_t>::max();
   for (int j = 0; j < k; ++j) {
     if (ranges[j].empty()) return;
-    views[j] = tries[j]->RangeSpan(levels[j], ranges[j]);
-    cap = std::min(cap, views[j].size());
+    const Trie& trie = *tries[j];
+    (*views)[j] =
+        trie.level_compressed(levels[j])
+            ? in::RunView::Compressed({trie.CompressedView(levels[j]),
+                                       ranges[j].lo, ranges[j].hi})
+            : in::RunView::Raw(trie.RangeSpan(levels[j], ranges[j]));
+    cap = std::min(cap, (*views)[j].size());
   }
   const size_t base = out->size();
   out->resize(base + cap);
-  const size_t n = wcoj::intersect::IntersectKValues(views.data(), k,
-                                                     out->data() + base);
+  in::KernelStats stats;
+  const size_t n = in::IntersectKValuesRuns(views->data(), k,
+                                            out->data() + base, caches,
+                                            &stats);
   out->resize(base + n);
+  *blocks_decoded += stats.blocks_decoded;
 }
 
 }  // namespace
@@ -108,6 +122,19 @@ StatusOr<RunReport> RunBigJoin(const query::Query& q,
 
     std::vector<Value> candidates;
     std::vector<Trie::Range> ranges(parts.size());
+    std::vector<wcoj::intersect::RunView> run_views;
+    // Block-decode caches, reused across this round's bindings: one
+    // per participant for the intersection, one per (participant,
+    // bound level) for the trie descent probes.
+    namespace bc = storage::blockcodec;
+    std::vector<bc::DecodeCache> isect_caches(parts.size());
+    size_t descend_slots = 0;
+    std::vector<size_t> descend_off(parts.size(), 0);
+    for (size_t pi = 0; pi < parts.size(); ++pi) {
+      descend_off[pi] = descend_slots;
+      descend_slots += static_cast<size_t>(part_levels[pi]);
+    }
+    std::vector<bc::DecodeCache> descend_caches(descend_slots);
     uint64_t produced = 0;
     for (uint64_t bnd = 0; bnd < num_bindings; ++bnd) {
       const Value* prefix = width == 0 ? nullptr : &bindings[bnd * width];
@@ -119,7 +146,8 @@ StatusOr<RunReport> RunBigJoin(const query::Query& q,
         Trie::Range range = trie.RootRange();
         for (int l = 0; l < part_levels[pi]; ++l) {
           const Value v = prefix[rank[attrs[size_t(l)]]];
-          uint32_t idx = trie.FindInRange(l, range, v);
+          uint32_t idx = trie.FindInRange(
+              l, range, v, &descend_caches[descend_off[pi] + size_t(l)]);
           if (idx == range.hi) {
             dead = true;
             break;
@@ -130,7 +158,9 @@ StatusOr<RunReport> RunBigJoin(const query::Query& q,
       }
       if (dead) continue;
       candidates.clear();
-      IntersectRanges(part_tries, part_levels, ranges, &candidates);
+      IntersectRanges(part_tries, part_levels, ranges, &run_views,
+                      isect_caches.data(), &candidates,
+                      &report.blocks_decoded);
       for (Value v : candidates) {
         for (int c = 0; c < width; ++c) next.push_back(prefix[c]);
         next.push_back(v);

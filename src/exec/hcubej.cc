@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <set>
 
 #include "common/timer.h"
 #include "dist/thread_pool.h"
@@ -193,6 +194,18 @@ StatusOr<HCubeJOutput> RunHCubeJ(const query::Query& q,
   out.report.extensions = all_stats.extensions;
   out.report.simd_intersections = all_stats.simd_intersections;
   out.report.scalar_fallbacks = all_stats.scalar_fallbacks;
+  out.report.blocks_decoded = all_stats.blocks_decoded;
+  {
+    // Resident compressed footprint of the distinct indexes this run
+    // bound (labeled binds alias one trie — count it once).
+    std::set<const storage::Trie*> seen;
+    for (const BoundAtom& b : *bound) {
+      const storage::Trie* trie = b.index->trie.get();
+      if (trie != nullptr && seen.insert(trie).second) {
+        out.report.compressed_bytes += trie->CompressedBytes();
+      }
+    }
+  }
   return out;
 }
 

@@ -8,13 +8,14 @@ std::string RunReport::ToString() const {
   if (!status.ok()) {
     return method + ": FAILED (" + status.ToString() + ")";
   }
-  char buf[384];
+  char buf[448];
   std::snprintf(buf, sizeof(buf),
                 "%s: out=%llu total=%.3fs (opt=%.3f pre=%.3f comm=%.3f "
                 "comp=%.3f ovh=%.3f) shuffled=%llu tuples "
                 "indexes(built=%llu reused=%llu mmap=%llu patched=%llu "
                 "delta_rows=%llu) "
-                "kernels(simd=%llu scalar=%llu)",
+                "kernels(simd=%llu scalar=%llu) "
+                "compressed(bytes=%llu blocks_decoded=%llu)",
                 method.c_str(), static_cast<unsigned long long>(output_count),
                 TotalSeconds(), optimize_s, precompute_s, comm_s, comp_s,
                 overhead_s,
@@ -26,7 +27,9 @@ std::string RunReport::ToString() const {
                 static_cast<unsigned long long>(index_patched),
                 static_cast<unsigned long long>(delta_rows_merged),
                 static_cast<unsigned long long>(simd_intersections),
-                static_cast<unsigned long long>(scalar_fallbacks));
+                static_cast<unsigned long long>(scalar_fallbacks),
+                static_cast<unsigned long long>(compressed_bytes),
+                static_cast<unsigned long long>(blocks_decoded));
   return buf;
 }
 

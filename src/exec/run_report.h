@@ -44,6 +44,13 @@ struct RunReport {
   uint64_t simd_intersections = 0;
   uint64_t scalar_fallbacks = 0;
 
+  /// Compressed-storage accounting: resident bytes of block-compressed
+  /// trie levels across the distinct indexes this run bound (0 when
+  /// every bound trie is raw), and compressed blocks decoded into
+  /// kernel scratch while joining.
+  uint64_t compressed_bytes = 0;
+  uint64_t blocks_decoded = 0;
+
   /// Index-layer accounting for this run: artifacts (bound-atom
   /// indexes, shard fragments+tries) this run constructed vs. borrowed
   /// from the shared storage::IndexCache. A prepared query's second

@@ -224,6 +224,17 @@ class FileBuilder {
 
 StatusOr<WriteStats> SnapshotWriter::Write(const storage::Catalog& catalog,
                                            const std::string& path) {
+  return Write(catalog, path, {});
+}
+
+StatusOr<WriteStats> SnapshotWriter::Write(const storage::Catalog& catalog,
+                                           const std::string& path,
+                                           const WriteOptions& options) {
+  if (options.version < kMinVersion || options.version > kVersion) {
+    return Status::InvalidArgument("unsupported snapshot write version " +
+                                   std::to_string(options.version));
+  }
+  const bool v3 = options.version >= 3;
   WriteStats stats;
   const std::string tmp = path + ".tmp";
   FileBuilder builder(tmp);
@@ -235,7 +246,7 @@ StatusOr<WriteStats> SnapshotWriter::Write(const storage::Catalog& catalog,
   // Header.
   {
     std::vector<uint8_t> header(kMagic, kMagic + 8);
-    PutFixed32(kVersion, &header);
+    PutFixed32(options.version, &header);
     // Written in *native* byte order on purpose: a reader on the other
     // endianness sees the byte-swapped tag and refuses, because every
     // raw array segment is native-order too.
@@ -341,15 +352,47 @@ StatusOr<WriteStats> SnapshotWriter::Write(const storage::Catalog& catalog,
     storage::PutVarint(uint64_t{block_seg} + 1, &manifest);
     storage::PutVarint(p.trie != nullptr ? 1 : 0, &manifest);
     if (p.trie != nullptr) {
-      for (int l = 0; l < p.trie->arity(); ++l) {
-        std::span<const Value> vals = p.trie->LevelSpan(l);
-        std::span<const uint32_t> kids = p.trie->ChildBeginSpan(l);
-        storage::PutVarint(vals.size(), &manifest);
-        const uint32_t vseg =
-            builder.AddSegment(SegmentKind::kTrieValues, BytesOf(vals));
-        storage::PutVarint(vseg, &manifest);
-        stats.raw_bytes += vals.size_bytes();
-        if (l + 1 < p.trie->arity()) {
+      const Trie& t = *p.trie;
+      // The v2 layout stores raw level arrays (plus a mirror), which a
+      // block-compressed trie does not have — re-materialize a raw
+      // trie from the payload rows (deterministic: same CSR arrays).
+      Trie rebuilt;
+      const Trie* raw_trie = &t;
+      if (!v3 && t.any_compressed()) {
+        rebuilt = Trie::Build(*p.rows);
+        raw_trie = &rebuilt;
+      }
+      for (int l = 0; l < t.arity(); ++l) {
+        std::span<const uint32_t> kids = t.ChildBeginSpan(l);
+        storage::PutVarint(t.LevelSize(l), &manifest);
+        if (v3) {
+          storage::PutVarint(t.level_compressed(l) ? 1 : 0, &manifest);
+        }
+        if (v3 && t.level_compressed(l)) {
+          // v3: the blockcodec arrays are the stored form — mapped in
+          // place on open, no raw copy, no mirror.
+          const storage::blockcodec::CompressedLevelView cv =
+              t.CompressedView(l);
+          const uint32_t mseg = builder.AddSegment(
+              SegmentKind::kTrieLevelMins, BytesOf(cv.mins));
+          const uint32_t sseg = builder.AddSegment(
+              SegmentKind::kTrieLevelStarts, BytesOf(cv.starts));
+          const uint32_t bseg =
+              builder.AddSegment(SegmentKind::kTrieLevelBytes, cv.bytes);
+          storage::PutVarint(mseg, &manifest);
+          storage::PutVarint(sseg, &manifest);
+          storage::PutVarint(bseg, &manifest);
+          stats.raw_bytes += cv.mins.size_bytes() + cv.starts.size_bytes() +
+                             cv.bytes.size();
+          ++stats.compressed_levels;
+        } else {
+          std::span<const Value> vals = raw_trie->LevelSpan(l);
+          const uint32_t vseg =
+              builder.AddSegment(SegmentKind::kTrieValues, BytesOf(vals));
+          storage::PutVarint(vseg, &manifest);
+          stats.raw_bytes += vals.size_bytes();
+        }
+        if (l + 1 < t.arity()) {
           const uint32_t cseg =
               builder.AddSegment(SegmentKind::kTrieChild, BytesOf(kids));
           storage::PutVarint(uint64_t{cseg} + 1, &manifest);
@@ -358,11 +401,14 @@ StatusOr<WriteStats> SnapshotWriter::Write(const storage::Catalog& catalog,
           storage::PutVarint(0, &manifest);
         }
       }
-      const std::vector<uint8_t> tblock = storage::EncodeTrieBlock(*p.trie);
-      const uint32_t tseg =
-          builder.AddSegment(SegmentKind::kTrieBlock, tblock);
-      stats.compressed_bytes += tblock.size();
-      storage::PutVarint(uint64_t{tseg} + 1, &manifest);
+      if (!v3) {
+        const std::vector<uint8_t> tblock =
+            storage::EncodeTrieBlock(*raw_trie);
+        const uint32_t tseg =
+            builder.AddSegment(SegmentKind::kTrieBlock, tblock);
+        stats.compressed_bytes += tblock.size();
+        storage::PutVarint(uint64_t{tseg} + 1, &manifest);
+      }
       ++stats.tries;
     }
     storage::PutVarint(p.bindings.size(), &manifest);
@@ -417,12 +463,13 @@ StatusOr<SnapshotReader> SnapshotReader::Open(const std::string& path) {
         "snapshot '" + path +
         "' was written on a platform with different endianness");
   }
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     return Status::InvalidArgument(
         "snapshot '" + path + "' has format version " +
-        std::to_string(version) + "; this build reads version " +
-        std::to_string(kVersion));
+        std::to_string(version) + "; this build reads versions " +
+        std::to_string(kMinVersion) + ".." + std::to_string(kVersion));
   }
+  reader.version_ = version;
   const uint32_t value_size = GetFixed32(f.data() + 16);
   if (value_size != sizeof(Value)) {
     return Status::InvalidArgument("snapshot '" + path + "' stores " +
@@ -654,13 +701,42 @@ StatusOr<SnapshotReader> SnapshotReader::Open(const std::string& path) {
         StatusOr<uint64_t> count = get("trie level count");
         if (!count.ok()) return count.status();
         level.values_count = *count;
-        StatusOr<uint64_t> vseg = get_seg("trie values segment");
-        if (!vseg.ok()) return vseg.status();
-        level.values_seg = static_cast<uint32_t>(*vseg);
-        if (reader.segments_[level.values_seg].size !=
-            level.values_count * sizeof(Value)) {
-          return Status::InvalidArgument(
-              "snapshot trie level size disagrees with value count");
+        if (reader.version_ >= 3) {
+          StatusOr<uint64_t> flag = get("trie level compressed flag");
+          if (!flag.ok()) return flag.status();
+          level.compressed = *flag != 0;
+        }
+        if (level.compressed) {
+          StatusOr<uint64_t> mseg = get_seg("trie mins segment");
+          if (!mseg.ok()) return mseg.status();
+          StatusOr<uint64_t> sseg = get_seg("trie starts segment");
+          if (!sseg.ok()) return sseg.status();
+          StatusOr<uint64_t> bseg = get_seg("trie bytes segment");
+          if (!bseg.ok()) return bseg.status();
+          level.mins_seg = static_cast<int64_t>(*mseg);
+          level.starts_seg = static_cast<int64_t>(*sseg);
+          level.bytes_seg = static_cast<int64_t>(*bseg);
+          // Skip-table sizes follow from the value count; the payload
+          // structure itself is validated by Trie::FromMapped.
+          const uint64_t blocks =
+              (level.values_count + storage::blockcodec::kBlockValues - 1) /
+              storage::blockcodec::kBlockValues;
+          if (reader.segments_[*mseg].size != blocks * sizeof(Value) ||
+              reader.segments_[*sseg].size !=
+                  (blocks + 1) * sizeof(uint32_t)) {
+            return Status::InvalidArgument(
+                "snapshot compressed trie level skip table size disagrees "
+                "with value count");
+          }
+        } else {
+          StatusOr<uint64_t> vseg = get_seg("trie values segment");
+          if (!vseg.ok()) return vseg.status();
+          level.values_seg = static_cast<uint32_t>(*vseg);
+          if (reader.segments_[level.values_seg].size !=
+              level.values_count * sizeof(Value)) {
+            return Status::InvalidArgument(
+                "snapshot trie level size disagrees with value count");
+          }
         }
         StatusOr<uint64_t> cseg = get("trie child segment");
         if (!cseg.ok()) return cseg.status();
@@ -678,14 +754,16 @@ StatusOr<SnapshotReader> SnapshotReader::Open(const std::string& path) {
         }
         p.levels.push_back(level);
       }
-      StatusOr<uint64_t> tseg = get("trie block segment");
-      if (!tseg.ok()) return tseg.status();
-      if (*tseg != 0) {
-        if (*tseg - 1 >= num_segments) {
-          return Status::InvalidArgument(
-              "snapshot manifest: trie block segment out of range");
+      if (reader.version_ < 3) {
+        StatusOr<uint64_t> tseg = get("trie block segment");
+        if (!tseg.ok()) return tseg.status();
+        if (*tseg != 0) {
+          if (*tseg - 1 >= num_segments) {
+            return Status::InvalidArgument(
+                "snapshot manifest: trie block segment out of range");
+          }
+          p.trie_block_seg = static_cast<int64_t>(*tseg - 1);
         }
-        p.trie_block_seg = static_cast<int64_t>(*tseg - 1);
       }
     }
     StatusOr<uint64_t> num_bindings = get("binding count");
@@ -735,6 +813,45 @@ StatusOr<std::span<const uint32_t>> SnapshotReader::SegmentOffsets(
   return std::span<const uint32_t>(
       reinterpret_cast<const uint32_t*>(bytes->data()),
       bytes->size() / sizeof(uint32_t));
+}
+
+StatusOr<std::vector<Trie::MappedLevel>> SnapshotReader::TrieLevels(
+    const Payload& p, uint64_t* mapped_bytes) const {
+  std::vector<Trie::MappedLevel> levels;
+  levels.reserve(p.levels.size());
+  uint64_t bytes = 0;
+  for (const TrieLevelRef& ref : p.levels) {
+    Trie::MappedLevel level;
+    if (ref.compressed) {
+      level.compressed = true;
+      level.num_values = ref.values_count;
+      StatusOr<std::span<const Value>> mins = SegmentValues(ref.mins_seg);
+      if (!mins.ok()) return mins.status();
+      StatusOr<std::span<const uint32_t>> starts =
+          SegmentOffsets(ref.starts_seg);
+      if (!starts.ok()) return starts.status();
+      StatusOr<std::span<const uint8_t>> payload = SegmentBytes(ref.bytes_seg);
+      if (!payload.ok()) return payload.status();
+      level.block_mins = *mins;
+      level.block_starts = *starts;
+      level.block_bytes = *payload;
+      bytes += mins->size_bytes() + starts->size_bytes() + payload->size();
+    } else {
+      StatusOr<std::span<const Value>> vals = SegmentValues(ref.values_seg);
+      if (!vals.ok()) return vals.status();
+      level.values = *vals;
+      bytes += vals->size_bytes();
+    }
+    if (ref.child_seg >= 0) {
+      StatusOr<std::span<const uint32_t>> kids = SegmentOffsets(ref.child_seg);
+      if (!kids.ok()) return kids.status();
+      level.child_begin = *kids;
+      bytes += kids->size_bytes();
+    }
+    levels.push_back(level);
+  }
+  if (mapped_bytes != nullptr) *mapped_bytes += bytes;
+  return levels;
 }
 
 Status SnapshotReader::VerifyChecksums() const {
@@ -803,14 +920,30 @@ Status SnapshotReader::Verify() const {
     if (p.trie_block_seg >= 0) {
       StatusOr<std::span<const uint8_t>> comp = SegmentBytes(p.trie_block_seg);
       if (!comp.ok()) return comp.status();
-      // The trie mirror decodes back to the tuple set it indexes; the
-      // raw payload rows are exactly that set, so this cross-checks
-      // trie levels against rows in one comparison.
+      // v2: the trie mirror decodes back to the tuple set it indexes;
+      // the raw payload rows are exactly that set, so this
+      // cross-checks trie levels against rows in one comparison.
       StatusOr<Relation> decoded = storage::DecodeTrieBlockToRelation(
           std::vector<uint8_t>(comp->begin(), comp->end()), schema);
       if (!decoded.ok()) return decoded.status();
       ADJ_RETURN_IF_ERROR(CompareValues(
           decoded->raw(), *raw, "payload " + std::to_string(i) + " trie"));
+    }
+    if (version_ >= 3 && p.has_trie) {
+      // v3 has no trie mirror: the stored levels ARE the execution
+      // format. FromMapped runs the full structural validation —
+      // block skip tables, payload decodability, CSR shape, sorted
+      // sibling runs — against the mapped segments.
+      StatusOr<std::vector<Trie::MappedLevel>> levels =
+          TrieLevels(p, nullptr);
+      if (!levels.ok()) return levels.status();
+      StatusOr<Trie> mapped = Trie::FromMapped(std::move(*levels), file_);
+      if (!mapped.ok()) return mapped.status();
+      if (mapped->NumTuples() != raw->size() / p.perm.size()) {
+        return Status::InvalidArgument(
+            "snapshot trie " + std::to_string(i) +
+            " tuple count disagrees with payload rows");
+      }
     }
   }
   return Status::OK();
@@ -883,23 +1016,10 @@ StatusOr<SnapshotReader::LoadStats> SnapshotReader::LoadInto(
     }
     stats.mapped_bytes += rows->size_bytes();
     if (p.has_trie) {
-      std::vector<Trie::MappedLevel> levels;
-      for (const TrieLevelRef& ref : p.levels) {
-        Trie::MappedLevel level;
-        StatusOr<std::span<const Value>> vals = SegmentValues(ref.values_seg);
-        if (!vals.ok()) return vals.status();
-        level.values = *vals;
-        if (ref.child_seg >= 0) {
-          StatusOr<std::span<const uint32_t>> kids =
-              SegmentOffsets(ref.child_seg);
-          if (!kids.ok()) return kids.status();
-          level.child_begin = *kids;
-        }
-        stats.mapped_bytes +=
-            level.values.size_bytes() + level.child_begin.size_bytes();
-        levels.push_back(level);
-      }
-      StatusOr<Trie> mapped = Trie::FromMapped(std::move(levels), file_);
+      StatusOr<std::vector<Trie::MappedLevel>> levels =
+          TrieLevels(p, &stats.mapped_bytes);
+      if (!levels.ok()) return levels.status();
+      StatusOr<Trie> mapped = Trie::FromMapped(std::move(*levels), file_);
       if (!mapped.ok()) return mapped.status();
       if (mapped->NumTuples() != r.canon->size()) {
         return Status::InvalidArgument(

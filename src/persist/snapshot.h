@@ -16,12 +16,12 @@
 
 namespace adj::persist {
 
-/// Snapshot file format v2 — the build-once / mmap-many layer
+/// Snapshot file format v3 — the build-once / mmap-many layer
 /// (docs/PERSISTENCE.md has the full layout diagram):
 ///
 ///   header | segment* | manifest segment | TOC segment | footer
 ///
-/// v2 records each catalog name's full delta-aware entry state — the
+/// v2+ records each catalog name's full delta-aware entry state — the
 /// immutable base relation, the ordered append/tombstone delta chain
 /// (rows inline in the manifest; chains are bounded by the compaction
 /// threshold), the effective relation, and the per-relation version —
@@ -30,24 +30,37 @@ namespace adj::persist {
 /// v1 recorded one relation per name (the then-current content),
 /// which folded any pending chain on save.
 ///
-/// Every index payload is written twice: a *raw* segment — the exact
-/// little-endian array layout `Relation::AliasSpan` and
-/// `Trie::FromMapped` can view in place, 64-byte aligned so a reopened
-/// process serves from the page cache with zero parsing — and a
-/// *compressed mirror* (dictionary / delta+vbyte runs) used for deep
-/// verification today and compressed-kernel execution later. The
-/// footer points at a TOC listing every segment's offset, size, and
-/// checksum, so individual segments can be mapped (and later paged)
-/// on demand.
+/// Trie storage is where v2 and v3 differ. v2 writes every trie level
+/// twice: the raw value array (mmap-able) plus a delta+vbyte *mirror*
+/// used only for deep verification — and cannot represent a
+/// block-compressed level at all. v3 writes each level exactly once,
+/// in its execution form: raw levels as the raw array, compressed
+/// levels as their three blockcodec arrays (per-block minima, byte
+/// offsets, packed payload) that `Trie::FromMapped` views in place —
+/// a warm restart serves compressed tries with zero re-encode, and
+/// the trie mirror segments are gone. Rows-layer payloads keep their
+/// raw + mirror pair in both versions.
 ///
-/// Versioning policy: `kVersion` bumps on any layout change; readers
-/// reject other versions (no silent migration), and reject snapshots
-/// written on a platform with different endianness or Value width.
+/// All raw array segments use the exact little-endian layout
+/// `Relation::AliasSpan` and `Trie::FromMapped` can view in place,
+/// 64-byte aligned so a reopened process serves from the page cache
+/// with zero parsing. The footer points at a TOC listing every
+/// segment's offset, size, and checksum, so individual segments can
+/// be mapped (and later paged) on demand.
+///
+/// Versioning policy: `kVersion` bumps on any layout change; the
+/// reader accepts v2 and v3 (the writer emits v3 by default, v2 on
+/// request via WriteOptions), rejects anything else, and rejects
+/// snapshots written on a platform with different endianness or Value
+/// width.
 
 inline constexpr char kMagic[8] = {'A', 'D', 'J', 'S', 'N', 'A', 'P', '1'};
 inline constexpr char kFooterMagic[8] = {'A', 'D', 'J', 'S', 'E', 'O', 'F',
                                          '1'};
-inline constexpr uint32_t kVersion = 2;
+inline constexpr uint32_t kVersion = 3;
+/// Oldest version the reader still accepts (and the writer still
+/// emits, for size comparisons against the dual-encoded layout).
+inline constexpr uint32_t kMinVersion = 2;
 inline constexpr uint32_t kEndianTag = 0x01020304;
 inline constexpr uint64_t kHeaderSize = 32;
 inline constexpr uint64_t kFooterSize = 40;
@@ -63,7 +76,12 @@ enum class SegmentKind : uint8_t {
   kTrieChild = 4,      // raw CSR child-offset array of one trie level
   kRelationDict = 5,   // compressed mirror: dictionary-encoded relation
   kPayloadBlock = 6,   // compressed mirror: delta+vbyte sorted rows
-  kTrieBlock = 7,      // compressed mirror: delta+vbyte trie levels
+  kTrieBlock = 7,      // v2 compressed mirror: delta+vbyte trie levels
+  // v3 block-compressed trie level (the execution format, mapped in
+  // place by Trie::FromMapped — see storage/block_codec.h).
+  kTrieLevelMins = 8,    // per-block first values (skip table)
+  kTrieLevelStarts = 9,  // per-block payload byte offsets (skip table)
+  kTrieLevelBytes = 10,  // packed zigzag-delta payload
 };
 
 /// One TOC row.
@@ -89,14 +107,26 @@ struct WriteStats {
   uint64_t bindings = 0;   // labeled bind/rel entries across payloads
   uint64_t file_bytes = 0;
   uint64_t raw_bytes = 0;         // mmap-able array segments
-  uint64_t compressed_bytes = 0;  // mirror segments
+  uint64_t compressed_bytes = 0;  // mirror segments (v2 dual encoding)
+  uint64_t compressed_levels = 0;  // v3: trie levels stored block-compressed
 };
 
 /// Serializes a catalog — relations, name bindings, and every resident
 /// permuted-index payload of its IndexCache — into one snapshot file.
 class SnapshotWriter {
  public:
+  /// `version` selects the file format: kVersion (v3, single trie
+  /// encoding) or kMinVersion (v2, raw levels + trie mirror — kept so
+  /// benches can measure what the dual encoding cost; compressed
+  /// tries are re-materialized raw to fit it).
+  struct WriteOptions {
+    uint32_t version = kVersion;
+  };
+
   /// Writes atomically (temp file + rename). Overwrites `path`.
+  static StatusOr<WriteStats> Write(const storage::Catalog& catalog,
+                                    const std::string& path,
+                                    const WriteOptions& options);
   static StatusOr<WriteStats> Write(const storage::Catalog& catalog,
                                     const std::string& path);
 };
@@ -116,6 +146,9 @@ class SnapshotReader {
 
   const std::vector<SegmentInfo>& segments() const { return segments_; }
   const std::shared_ptr<const MappedFile>& file() const { return file_; }
+
+  /// Format version of the opened file (kMinVersion..kVersion).
+  uint32_t version() const { return version_; }
 
   /// Recomputes and compares every segment checksum (including the
   /// TOC's own, already checked at Open).
@@ -156,7 +189,11 @@ class SnapshotReader {
   };
   struct TrieLevelRef {
     uint64_t values_count = 0;
-    uint32_t values_seg = 0;
+    bool compressed = false;  // v3: level stored in blockcodec form
+    uint32_t values_seg = 0;  // raw levels only
+    int64_t mins_seg = -1;    // compressed levels only
+    int64_t starts_seg = -1;
+    int64_t bytes_seg = -1;
     int64_t child_seg = -1;  // -1: deepest level
   };
   struct Payload {
@@ -176,6 +213,12 @@ class SnapshotReader {
       uint64_t index) const;
   StatusOr<std::span<const uint32_t>> SegmentOffsets(uint64_t index) const;
 
+  /// Materializes one payload trie's MappedLevel views (raw or
+  /// compressed per level), accumulating viewed bytes into
+  /// `mapped_bytes` when given. Shared by Verify and LoadInto.
+  StatusOr<std::vector<storage::Trie::MappedLevel>> TrieLevels(
+      const Payload& p, uint64_t* mapped_bytes) const;
+
   /// One delta batch's rows as decoded from the manifest (row-major,
   /// base arity), turned into DeltaBatch relations at load time.
   struct DeltaRows {
@@ -192,6 +235,7 @@ class SnapshotReader {
   };
 
   std::shared_ptr<const MappedFile> file_;
+  uint32_t version_ = kVersion;
   std::vector<SegmentInfo> segments_;
   std::vector<PhysRel> relations_;
   std::vector<NameEntry> names_;

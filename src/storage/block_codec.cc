@@ -1,0 +1,200 @@
+#include "storage/block_codec.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace adj::storage::blockcodec {
+namespace {
+
+inline uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+inline int BitWidth(uint64_t v) { return v == 0 ? 0 : 64 - __builtin_clzll(v); }
+
+inline void PutVar(std::vector<uint8_t>& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+/// Reads a varint from [p, end); returns false on truncation/overflow.
+inline bool GetVar(const uint8_t*& p, const uint8_t* end, uint64_t* v) {
+  uint64_t x = 0;
+  int shift = 0;
+  while (p < end && shift < 64) {
+    const uint8_t b = *p++;
+    x |= uint64_t(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      *v = x;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+inline int VarLen(uint64_t v) {
+  int n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Encodes one block of `cnt` values starting at `v` whose zigzag
+/// deltas (cnt-1 of them) are already in `zz`. Appends tag + payload.
+void EncodeBlockBody(const uint64_t* zz, uint32_t ndeltas,
+                     std::vector<uint8_t>& bytes) {
+  int width = 0;
+  int vbyte_len = 0;
+  for (uint32_t i = 0; i < ndeltas; ++i) {
+    width = std::max(width, BitWidth(zz[i]));
+    vbyte_len += VarLen(zz[i]);
+  }
+  const int packed_len = static_cast<int>((uint64_t(ndeltas) * width + 7) / 8);
+  if (packed_len <= vbyte_len) {
+    bytes.push_back(static_cast<uint8_t>(width));
+    uint64_t acc = 0;
+    int nbits = 0;
+    for (uint32_t i = 0; i < ndeltas; ++i) {
+      acc |= zz[i] << nbits;
+      nbits += width;
+      while (nbits >= 8) {
+        bytes.push_back(static_cast<uint8_t>(acc));
+        acc >>= 8;
+        nbits -= 8;
+      }
+      // width can exceed 64-7: flush guarantees nbits < 8 before the
+      // next delta, and width <= 33 so acc never overflows.
+    }
+    if (nbits > 0) bytes.push_back(static_cast<uint8_t>(acc));
+  } else {
+    bytes.push_back(kTagVByte);
+    for (uint32_t i = 0; i < ndeltas; ++i) PutVar(bytes, zz[i]);
+  }
+}
+
+}  // namespace
+
+void EncodeLevelTail(std::span<const Value> values, uint32_t from_block,
+                     CompressedLevel* out) {
+  const uint64_t n = values.size();
+  out->size = n;
+  const uint64_t first = uint64_t(from_block) * kBlockValues;
+  ADJ_CHECK(out->mins.size() == from_block);
+  ADJ_CHECK(out->starts.size() == size_t(from_block) + 1);
+  ADJ_CHECK(first <= n);
+  uint64_t zz[kBlockValues];
+  for (uint64_t lo = first; lo < n; lo += kBlockValues) {
+    const uint32_t cnt =
+        static_cast<uint32_t>(std::min<uint64_t>(kBlockValues, n - lo));
+    out->mins.push_back(values[lo]);
+    for (uint32_t i = 1; i < cnt; ++i) {
+      zz[i - 1] = ZigZag(int64_t(values[lo + i]) - int64_t(values[lo + i - 1]));
+    }
+    EncodeBlockBody(zz, cnt - 1, out->bytes);
+    out->starts.push_back(static_cast<uint32_t>(out->bytes.size()));
+  }
+}
+
+void EncodeLevel(std::span<const Value> values, CompressedLevel* out) {
+  out->mins.clear();
+  out->starts.assign(1, 0);
+  out->bytes.clear();
+  EncodeLevelTail(values, 0, out);
+}
+
+uint32_t DecodeBlock(const CompressedLevelView& level, uint32_t block,
+                     Value* out) {
+  const uint32_t cnt = level.BlockCount(block);
+  const uint8_t* p = level.bytes.data() + level.starts[block];
+  const uint8_t tag = *p++;
+  int64_t v = level.mins[block];
+  out[0] = static_cast<Value>(v);
+  if (tag == kTagVByte) {
+    const uint8_t* end = level.bytes.data() + level.starts[block + 1];
+    for (uint32_t i = 1; i < cnt; ++i) {
+      uint64_t zz = 0;
+      GetVar(p, end, &zz);
+      v += UnZigZag(zz);
+      out[i] = static_cast<Value>(v);
+    }
+  } else {
+    const int width = tag;
+    const uint64_t mask =
+        width >= 64 ? ~uint64_t(0) : (uint64_t(1) << width) - 1;
+    uint64_t acc = 0;
+    int nbits = 0;
+    for (uint32_t i = 1; i < cnt; ++i) {
+      while (nbits < width) {
+        acc |= uint64_t(*p++) << nbits;
+        nbits += 8;
+      }
+      v += UnZigZag(acc & mask);
+      acc >>= width;
+      nbits -= width;
+      out[i] = static_cast<Value>(v);
+    }
+  }
+  return cnt;
+}
+
+Status ValidateCompressedLevel(const CompressedLevelView& level) {
+  const uint64_t n = level.size;
+  const uint64_t blocks = (n + kBlockValues - 1) / kBlockValues;
+  if (level.mins.size() != blocks) {
+    return Status::InvalidArgument("compressed level: skip table size");
+  }
+  if (level.starts.size() != blocks + 1) {
+    return Status::InvalidArgument("compressed level: start table size");
+  }
+  if (blocks == 0) return Status::OK();
+  if (level.starts[0] != 0 ||
+      level.starts[blocks] != level.bytes.size()) {
+    return Status::InvalidArgument("compressed level: byte extent");
+  }
+  for (uint64_t b = 0; b < blocks; ++b) {
+    if (level.starts[b + 1] < level.starts[b] ||
+        level.starts[b + 1] > level.bytes.size()) {
+      return Status::InvalidArgument("compressed level: offsets not monotone");
+    }
+    const uint32_t cnt = level.BlockCount(static_cast<uint32_t>(b));
+    const uint32_t len = level.starts[b + 1] - level.starts[b];
+    if (len < 1) {
+      return Status::InvalidArgument("compressed level: empty block payload");
+    }
+    const uint8_t* p = level.bytes.data() + level.starts[b];
+    const uint8_t* end = p + len;
+    const uint8_t tag = *p++;
+    if (tag == kTagVByte) {
+      for (uint32_t i = 1; i < cnt; ++i) {
+        uint64_t zz = 0;
+        if (!GetVar(p, end, &zz)) {
+          return Status::InvalidArgument("compressed level: truncated varint");
+        }
+      }
+      if (p != end) {
+        return Status::InvalidArgument("compressed level: trailing bytes");
+      }
+    } else {
+      if (tag > kMaxBitWidth) {
+        return Status::InvalidArgument("compressed level: bad bit width");
+      }
+      const uint64_t need = 1 + (uint64_t(cnt - 1) * tag + 7) / 8;
+      if (need != len) {
+        return Status::InvalidArgument("compressed level: packed length");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace adj::storage::blockcodec

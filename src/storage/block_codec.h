@@ -1,0 +1,176 @@
+#ifndef ADJ_STORAGE_BLOCK_CODEC_H_
+#define ADJ_STORAGE_BLOCK_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace adj::storage::blockcodec {
+
+/// Block-compressed encoding for one trie level (or any Value array
+/// that is a concatenation of sorted runs). The array is cut into
+/// fixed-size blocks of kBlockValues positions; block b covers
+/// positions [b*kBlockValues, (b+1)*kBlockValues). Per block the skip
+/// table stores the block's first value (`min`) and the byte offset of
+/// its payload (`start`), so a SeekGEQ can gallop over block minima
+/// and decode exactly one block. Payload layout per block:
+///
+///   [tag:1][deltas...]
+///
+/// Deltas are zigzag-encoded (trie levels are concatenations of
+/// strictly increasing sibling runs — the delta across a run boundary
+/// can be negative). The first value of the block lives only in the
+/// skip table; the payload holds the remaining count-1 deltas.
+///   tag == kTagVByte : LEB128 varints of the zigzag deltas.
+///   tag <  kTagVByte : fixed bit width, deltas bit-packed LSB-first
+///                      (frame-of-reference on the running value; used
+///                      when the widest zigzag delta is narrow).
+/// The encoder picks whichever is smaller per block, so the choice is
+/// deterministic and byte-stable — PatchFrom relies on that to splice
+/// untouched prefix blocks verbatim.
+inline constexpr uint32_t kBlockValues = 128;
+inline constexpr uint8_t kTagVByte = 0xFF;
+/// Zigzag of (int64)uint32 - (int64)uint32 needs at most 33 bits.
+inline constexpr uint8_t kMaxBitWidth = 33;
+
+/// A compressed level, as plain spans so the same view works over
+/// owned vectors and mmap'ed snapshot segments.
+///   mins  : num_blocks entries, mins[b] == value at position b*B.
+///   starts: num_blocks+1 entries, payload of block b is
+///           bytes[starts[b], starts[b+1]).
+///   size  : total number of logical values.
+struct CompressedLevelView {
+  std::span<const Value> mins;
+  std::span<const uint32_t> starts;
+  std::span<const uint8_t> bytes;
+  uint64_t size = 0;
+
+  uint32_t num_blocks() const { return static_cast<uint32_t>(mins.size()); }
+  /// Number of values in block b (kBlockValues for all but the last).
+  uint32_t BlockCount(uint32_t b) const {
+    const uint64_t lo = uint64_t(b) * kBlockValues;
+    const uint64_t n = size - lo;
+    return n < kBlockValues ? static_cast<uint32_t>(n) : kBlockValues;
+  }
+  bool empty() const { return size == 0; }
+};
+
+/// Owned backing storage for a CompressedLevelView.
+struct CompressedLevel {
+  std::vector<Value> mins;
+  std::vector<uint32_t> starts;  // always num_blocks + 1 (starts[0] == 0)
+  std::vector<uint8_t> bytes;
+  uint64_t size = 0;
+
+  CompressedLevelView View() const {
+    return {std::span<const Value>(mins), std::span<const uint32_t>(starts),
+            std::span<const uint8_t>(bytes), size};
+  }
+  uint64_t ResidentBytes() const {
+    return mins.size() * sizeof(Value) + starts.size() * sizeof(uint32_t) +
+           bytes.size();
+  }
+};
+
+/// Bytes a view occupies (skip table + payload), for budget charging.
+inline uint64_t ViewResidentBytes(const CompressedLevelView& v) {
+  return v.mins.size() * sizeof(Value) + v.starts.size() * sizeof(uint32_t) +
+         v.bytes.size();
+}
+
+/// Encodes `values` into `out` (cleared first). Deterministic: the
+/// same input always yields the same bytes.
+void EncodeLevel(std::span<const Value> values, CompressedLevel* out);
+
+/// Appends blocks for values[from_block*B ...] to a partially-filled
+/// CompressedLevel whose blocks [0, from_block) are already present
+/// (mins/starts/bytes sized accordingly, starts has from_block+1
+/// entries). Used by PatchFrom to re-encode only touched blocks.
+void EncodeLevelTail(std::span<const Value> values, uint32_t from_block,
+                     CompressedLevel* out);
+
+/// Decodes block b (including its leading min) into out[0..count).
+/// `out` must hold kBlockValues entries. Returns the count.
+uint32_t DecodeBlock(const CompressedLevelView& level, uint32_t block,
+                     Value* out);
+
+/// Block-decode cache. Hot consumers (the join executor, BigJoin's
+/// expansion) keep one per compressed input and thread it through the
+/// run kernels; after DecodeBlockCached, `vals` points at the decoded
+/// block. Two backing modes:
+///
+///   - Inline (default): holds the single most recent block in
+///     `inline_vals`. Tries are walked in ascending position order, so
+///     consecutive sibling ranges usually land in the block the cache
+///     already holds — enough for a one-shot probe (Trie::SeekInRange)
+///     or a monotone walk (BigJoin's per-level descent).
+///   - Arena-backed: an owner that revisits scattered ranges of one
+///     level many times per run (the leapfrog executor's inner Descend
+///     loops) binds the cache to a level-wide scratch buffer plus a
+///     decoded-block bitmap. Each block then decodes at most once per
+///     owner lifetime and every later touch is a pointer hit — without
+///     this, every small sibling range re-decodes a kBlockValues-wide
+///     block to read a handful of values. Caches bound to the same
+///     arena may safely decode concurrently interleaved blocks: slices
+///     are disjoint per block and the encoder is deterministic.
+///
+/// Identity is the payload address + block index, so one inline cache
+/// object can serve any level (a different level simply misses); an
+/// arena only serves the payload it was sized for (`arena_id`).
+struct DecodeCache {
+  const uint8_t* id = nullptr;  // payload identity of current block
+  uint32_t block = 0;
+  uint32_t count = 0;       // values decoded at vals
+  Value* vals = nullptr;    // current block (inline_vals or arena slice)
+  const uint8_t* arena_id = nullptr;  // payload the arena is bound to
+  Value* arena = nullptr;             // num_blocks * kBlockValues values
+  uint64_t* decoded = nullptr;        // 1 bit per block
+  Value inline_vals[kBlockValues];
+};
+
+/// DecodeBlock through `cache`: a hit returns the cached count, a miss
+/// decodes (into the bound arena slice, else inline) and restamps.
+/// `decodes` (when non-null) counts actual decodes — the
+/// "blocks_decoded" the kernels report; arena bitmap hits don't count.
+inline uint32_t DecodeBlockCached(const CompressedLevelView& level,
+                                  uint32_t block, DecodeCache* cache,
+                                  uint64_t* decodes) {
+  if (cache->id == level.bytes.data() && cache->block == block &&
+      cache->vals != nullptr) {
+    return cache->count;
+  }
+  if (cache->arena_id == level.bytes.data()) {
+    Value* slot = cache->arena + size_t(block) * kBlockValues;
+    uint64_t& word = cache->decoded[block >> 6];
+    const uint64_t bit = uint64_t{1} << (block & 63);
+    if ((word & bit) != 0) {
+      cache->count = level.BlockCount(block);
+    } else {
+      cache->count = DecodeBlock(level, block, slot);
+      word |= bit;
+      if (decodes != nullptr) ++*decodes;
+    }
+    cache->vals = slot;
+  } else {
+    cache->count = DecodeBlock(level, block, cache->inline_vals);
+    cache->vals = cache->inline_vals;
+    if (decodes != nullptr) ++*decodes;
+  }
+  cache->id = level.bytes.data();
+  cache->block = block;
+  return cache->count;
+}
+
+/// Structural validation for mapped (untrusted) levels: span sizes
+/// consistent, starts monotone and within bytes, every block decodes
+/// to exactly its count without reading past its payload. Does NOT
+/// check sorted-run structure — the trie layer does that with the
+/// child arrays in hand.
+Status ValidateCompressedLevel(const CompressedLevelView& level);
+
+}  // namespace adj::storage::blockcodec
+
+#endif  // ADJ_STORAGE_BLOCK_CODEC_H_

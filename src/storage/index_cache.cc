@@ -202,15 +202,19 @@ StatusOr<std::shared_ptr<const Trie>> IndexCache::GetPermutedTrie(
           Trie patched = Trie::PatchFrom(*src.trie, ins, del);
           ConsumeTriePatchSource(base.get(), perm);
           if (patched.NumTuples() == (*rows)->size()) {
+            if (compress_tries()) {
+              patched = Trie::Compress(std::move(patched));
+            }
             auto trie = std::make_shared<const Trie>(std::move(patched));
-            BuildResult result{trie,
-                               trie->StorageValues() * sizeof(Value)};
+            BuildResult result{trie, trie->ResidentBytes()};
             result.patched = true;
             return result;
           }
         }
-        auto trie = std::make_shared<const Trie>(Trie::Build(**rows));
-        BuildResult result{trie, trie->StorageValues() * sizeof(Value)};
+        Trie built = Trie::Build(**rows);
+        if (compress_tries()) built = Trie::Compress(std::move(built));
+        auto trie = std::make_shared<const Trie>(std::move(built));
+        BuildResult result{trie, trie->ResidentBytes()};
         // A trie over a patched payload counts as patched work, not a
         // from-scratch index build: its input rows were delta-merged.
         result.patched = rows_patched;
@@ -406,7 +410,7 @@ Status IndexCache::AdoptPermuted(std::shared_ptr<const Relation> base,
     meta->kind = PermutedMeta::kTrie;
     meta->perm = perm;
     AdoptEntryLocked({identity, TrieSpec(perm)}, base, trie,
-                     trie->StorageValues() * sizeof(Value), std::move(meta));
+                     trie->ResidentBytes(), std::move(meta));
   }
   for (const Binding& b : bindings) {
     auto meta = std::make_shared<PermutedMeta>();

@@ -1,6 +1,7 @@
 #ifndef ADJ_STORAGE_INDEX_CACHE_H_
 #define ADJ_STORAGE_INDEX_CACHE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -28,10 +29,10 @@ struct PreparedIndex {
   std::shared_ptr<const Relation> rel;  // permuted + SortAndDedup'ed
   std::shared_ptr<const Trie> trie;     // built over `rel`
 
-  /// Resident payload: tuple data plus the trie's "three arrays".
+  /// Resident payload: tuple data plus the trie's arrays (compressed
+  /// levels at their encoded size).
   uint64_t Bytes() const {
-    return (rel ? rel->SizeBytes() : 0) +
-           (trie ? trie->StorageValues() * sizeof(Value) : 0);
+    return (rel ? rel->SizeBytes() : 0) + (trie ? trie->ResidentBytes() : 0);
   }
 };
 
@@ -107,6 +108,19 @@ class IndexCache {
   /// `budget_bytes` caps resident artifact bytes (0 = unbounded).
   explicit IndexCache(uint64_t budget_bytes = 0)
       : budget_bytes_(budget_bytes) {}
+
+  /// Whether freshly built or delta-patched tries are re-encoded
+  /// through Trie::Compress (per-level density heuristic — tiny or
+  /// incompressible levels stay raw, and compressed levels of a
+  /// patched predecessor stay compressed). On by default so large
+  /// indexes are charged at their encoded size; benches flip it off
+  /// to measure the raw baseline.
+  void set_compress_tries(bool on) {
+    compress_tries_.store(on, std::memory_order_relaxed);
+  }
+  bool compress_tries() const {
+    return compress_tries_.load(std::memory_order_relaxed);
+  }
 
   IndexCache(const IndexCache&) = delete;
   IndexCache& operator=(const IndexCache&) = delete;
@@ -335,6 +349,7 @@ class IndexCache {
   bool SweepOnceLocked();
 
   uint64_t budget_bytes_;
+  std::atomic<bool> compress_tries_{true};
   mutable std::mutex mu_;
   std::condition_variable ready_cv_;
   std::map<Key, std::shared_ptr<Entry>> entries_;

@@ -6,6 +6,8 @@
 
 namespace adj::storage {
 
+namespace bc = blockcodec;
+
 Trie Trie::Build(const Relation& rel) {
   ADJ_CHECK(rel.IsSortedUnique()) << "Trie::Build requires sorted+dedup input";
   Trie trie;
@@ -48,11 +50,12 @@ Trie Trie::Build(const Relation& rel) {
 
 void Trie::FinishWidths() {
   // Widest sibling range per level, so executors can size intersection
-  // buffers at Run() without rescanning the index.
+  // buffers at Run() without rescanning the index. Always recomputed
+  // from the child arrays — Build, PatchFrom and FromMapped all end
+  // here, so no construction path can inherit a stale width.
   const int k = arity();
   if (k == 0) return;
-  levels_[0].max_range_width =
-      static_cast<uint32_t>(levels_[0].vals().size());
+  levels_[0].max_range_width = static_cast<uint32_t>(LevelSize(0));
   for (int l = 0; l + 1 < k; ++l) {
     std::span<const uint32_t> begin = levels_[l].kids();
     uint32_t widest = 0;
@@ -61,6 +64,34 @@ void Trie::FinishWidths() {
     }
     levels_[l + 1].max_range_width = widest;
   }
+}
+
+Trie Trie::Compress(Trie src) { return Compress(std::move(src), {}); }
+
+Trie Trie::Compress(Trie src, const CompressOptions& opts) {
+  int l = -1;
+  for (Level& level : src.levels_) {
+    ++l;
+    // Mapped levels keep the representation the snapshot chose, and
+    // already-compressed levels are final (the encoder is
+    // deterministic, re-encoding would be a no-op).
+    if (level.mapped || level.compressed) continue;
+    const uint64_t n = level.values_store.size();
+    if (n == 0) continue;
+    if (!opts.force && static_cast<uint32_t>(l) < opts.min_level) continue;
+    if (!opts.force && n < opts.min_level_values) continue;
+    bc::CompressedLevel enc;
+    bc::EncodeLevel(level.values_store, &enc);
+    const double raw_bytes = static_cast<double>(n) * sizeof(Value);
+    if (!opts.force &&
+        static_cast<double>(enc.ResidentBytes()) > opts.max_ratio * raw_bytes) {
+      continue;  // incompressible: raw scan beats decode for no savings
+    }
+    level.comp_store = std::move(enc);
+    level.compressed = true;
+    level.values_store = {};
+  }
+  return src;
 }
 
 Trie Trie::PatchFrom(const Trie& prev, const Relation& inserts,
@@ -72,16 +103,41 @@ Trie Trie::PatchFrom(const Trie& prev, const Relation& inserts,
   ADJ_CHECK(inserts.size() == 0 || inserts.IsSortedUnique());
   ADJ_CHECK(deletes.size() == 0 || deletes.IsSortedUnique());
 
+  // The merge reads prev's value arrays by position; compressed levels
+  // decode once into scratch (bulk block decode, same order of work as
+  // the span copies below — the savings of a compressed prev are on
+  // the *output* side, where untouched prefix blocks splice verbatim).
+  std::vector<std::vector<Value>> decode_scratch(k);
+  std::vector<std::span<const Value>> pvals(k);
+  for (int l = 0; l < k; ++l) {
+    if (prev.levels_[l].compressed) {
+      prev.DecodeLevelInto(l, &decode_scratch[l]);
+      pvals[l] = decode_scratch[l];
+    } else {
+      pvals[l] = prev.levels_[l].vals();
+    }
+  }
+
   Trie out;
   out.levels_.resize(k);
   for (int l = 0; l < k; ++l) {
-    out.levels_[l].values_store.reserve(prev.levels_[l].vals().size() +
-                                        inserts.size());
+    out.levels_[l].values_store.reserve(pvals[l].size() + inserts.size());
     if (l + 1 < k) {
       out.levels_[l].child_store.reserve(prev.levels_[l].kids().size() +
                                          inserts.size());
     }
   }
+
+  // First output position per level at which the result can diverge
+  // from prev. Everything before it is a verbatim prefix (same values,
+  // same positions), so for compressed levels the encoded blocks
+  // strictly below it are reused byte-for-byte.
+  std::vector<uint64_t> first_touched(k, UINT64_MAX);
+  auto touch = [&](int lev) {
+    if (first_touched[lev] == UINT64_MAX) {
+      first_touched[lev] = out.levels_[lev].values_store.size();
+    }
+  };
 
   // Appends the subtrees rooted at prev's level-l nodes [a, b)
   // verbatim. DFS order makes each subtree slab contiguous per level,
@@ -90,7 +146,7 @@ Trie Trie::PatchFrom(const Trie& prev, const Relation& inserts,
   auto copy_subtrees = [&](int l, uint32_t a, uint32_t b) {
     uint32_t lo = a, hi = b;
     for (int lev = l; lev < k && lo < hi; ++lev) {
-      std::span<const Value> vals = prev.levels_[lev].vals();
+      std::span<const Value> vals = pvals[lev];
       std::vector<Value>& dst = out.levels_[lev].values_store;
       dst.insert(dst.end(), vals.begin() + lo, vals.begin() + hi);
       if (lev + 1 < k) {
@@ -113,6 +169,7 @@ Trie Trie::PatchFrom(const Trie& prev, const Relation& inserts,
   // l..k-1 (Build's inner loop, restricted to one delta group).
   auto append_rows = [&](int l, const Relation& rel, uint32_t r0,
                          uint32_t r1) {
+    for (int lev = l; lev < k; ++lev) touch(lev);
     for (uint32_t r = r0; r < r1; ++r) {
       std::span<const Value> row = rel.Row(r);
       int diff = l;
@@ -136,7 +193,7 @@ Trie Trie::PatchFrom(const Trie& prev, const Relation& inserts,
   auto patch = [&](auto&& self, int l, uint32_t plo, uint32_t phi,
                    uint32_t i0, uint32_t i1, uint32_t d0,
                    uint32_t d1) -> uint32_t {
-    std::span<const Value> vals = prev.levels_[l].vals();
+    std::span<const Value> vals = pvals[l];
     const bool leaf = l + 1 == k;
     uint32_t emitted = 0;
     uint32_t p = plo, i = i0, d = d0;
@@ -176,7 +233,9 @@ Trie Trie::PatchFrom(const Trie& prev, const Relation& inserts,
         d = de;
         continue;
       }
-      // A prev node touched by the delta.
+      // A prev node touched by the delta: positions at this level can
+      // shift from here on, so the block-reuse prefix ends.
+      touch(l);
       if (leaf) {
         // Row-level resolution: deleted unless (defensively)
         // re-inserted; an insert of a present row keeps one copy.
@@ -205,7 +264,7 @@ Trie Trie::PatchFrom(const Trie& prev, const Relation& inserts,
     }
     return emitted;
   };
-  patch(patch, 0, 0, static_cast<uint32_t>(prev.levels_[0].vals().size()), 0,
+  patch(patch, 0, 0, static_cast<uint32_t>(pvals[0].size()), 0,
         static_cast<uint32_t>(inserts.size()), 0,
         static_cast<uint32_t>(deletes.size()));
 
@@ -215,6 +274,29 @@ Trie Trie::PatchFrom(const Trie& prev, const Relation& inserts,
         static_cast<uint32_t>(out.levels_[l + 1].values_store.size()));
   }
   out.FinishWidths();
+
+  // Compressed prev levels stay compressed: splice the encoded bytes
+  // of every block strictly before the first touched position (the
+  // deterministic encoder guarantees they are byte-identical), then
+  // re-encode only from the first touched block on.
+  for (int l = 0; l < k; ++l) {
+    if (!prev.levels_[l].compressed) continue;
+    const bc::CompressedLevelView pv = prev.levels_[l].comp();
+    Level& level = out.levels_[l];
+    const std::vector<Value>& ov = level.values_store;
+    const uint64_t limit = std::min<uint64_t>(
+        {first_touched[l], ov.size(), pv.size});
+    const uint32_t reuse =
+        static_cast<uint32_t>(limit / bc::kBlockValues);
+    bc::CompressedLevel enc;
+    enc.mins.assign(pv.mins.begin(), pv.mins.begin() + reuse);
+    enc.starts.assign(pv.starts.begin(), pv.starts.begin() + reuse + 1);
+    enc.bytes.assign(pv.bytes.begin(), pv.bytes.begin() + pv.starts[reuse]);
+    bc::EncodeLevelTail(ov, reuse, &enc);
+    level.comp_store = std::move(enc);
+    level.compressed = true;
+    level.values_store = {};
+  }
   return out;
 }
 
@@ -223,15 +305,33 @@ StatusOr<Trie> Trie::FromMapped(std::vector<MappedLevel> levels,
   Trie trie;
   const int k = static_cast<int>(levels.size());
   trie.levels_.resize(k);
+  auto level_values = [&](int l) -> uint64_t {
+    return levels[l].compressed ? levels[l].num_values
+                                : levels[l].values.size();
+  };
   // Structural validation: this is the trust boundary between bytes on
   // disk and the unchecked index arithmetic of the join inner loop, so
   // every offset a mapped trie can produce is range-checked here once.
   for (int l = 0; l < k; ++l) {
     const MappedLevel& in = levels[l];
-    const size_t n = in.values.size();
+    const uint64_t n = level_values(l);
     if (n > UINT32_MAX) {
       return Status::InvalidArgument("mapped trie level " + std::to_string(l) +
                                      " exceeds 2^32 entries");
+    }
+    if (in.compressed) {
+      if (!in.values.empty()) {
+        return Status::InvalidArgument(
+            "mapped trie level " + std::to_string(l) +
+            ": both raw and compressed value arrays present");
+      }
+      const bc::CompressedLevelView view{in.block_mins, in.block_starts,
+                                         in.block_bytes, in.num_values};
+      Status s = bc::ValidateCompressedLevel(view);
+      if (!s.ok()) {
+        return Status::InvalidArgument("mapped trie level " +
+                                       std::to_string(l) + ": " + s.message());
+      }
     }
     if (l + 1 < k) {
       if (in.child_begin.size() != n + 1) {
@@ -240,7 +340,7 @@ StatusOr<Trie> Trie::FromMapped(std::vector<MappedLevel> levels,
             ": child_begin size " + std::to_string(in.child_begin.size()) +
             " != values+1 (" + std::to_string(n + 1) + ")");
       }
-      const size_t next_n = levels[l + 1].values.size();
+      const uint64_t next_n = level_values(l + 1);
       if (in.child_begin.front() != 0 || in.child_begin.back() != next_n) {
         return Status::InvalidArgument(
             "mapped trie level " + std::to_string(l) +
@@ -264,62 +364,191 @@ StatusOr<Trie> Trie::FromMapped(std::vector<MappedLevel> levels,
           "mapped trie: deepest level has a child array");
     }
     // Sibling runs must be strictly sorted — Seek/FindInRange's
-    // galloping search assumes it.
-    if (l == 0) {
-      for (size_t i = 0; i + 1 < n; ++i) {
-        if (in.values[i] >= in.values[i + 1]) {
-          return Status::InvalidArgument(
-              "mapped trie level 0: values not strictly sorted");
-        }
+    // galloping search assumes it. Compressed levels stream one block
+    // of decode scratch; the run boundaries come from the parent's
+    // (already validated) child offsets.
+    std::span<const uint32_t> parent =
+        l > 0 ? levels[l - 1].child_begin : std::span<const uint32_t>();
+    Value buf[bc::kBlockValues];
+    std::span<const Value> chunk;
+    uint64_t pos = 0;
+    size_t pidx = 1;  // parent[pidx] == start of the next sibling run
+    Value prevv = 0;
+    bool have_prev = false;
+    const bc::CompressedLevelView view{in.block_mins, in.block_starts,
+                                       in.block_bytes, in.num_values};
+    const uint64_t blocks = in.compressed ? view.num_blocks() : (n > 0);
+    for (uint64_t b = 0; b < blocks; ++b) {
+      if (in.compressed) {
+        const uint32_t cnt =
+            bc::DecodeBlock(view, static_cast<uint32_t>(b), buf);
+        chunk = std::span<const Value>(buf, cnt);
+      } else {
+        chunk = in.values;
       }
-    } else {
-      std::span<const uint32_t> parent = levels[l - 1].child_begin;
-      for (size_t p = 0; p + 1 < parent.size(); ++p) {
-        for (uint32_t i = parent[p]; i + 1 < parent[p + 1]; ++i) {
-          if (in.values[i] >= in.values[i + 1]) {
-            return Status::InvalidArgument(
-                "mapped trie level " + std::to_string(l) +
-                ": sibling run not strictly sorted");
-          }
+      for (const Value v : chunk) {
+        if (l > 0 && pidx < parent.size() && parent[pidx] == pos) {
+          have_prev = false;
+          ++pidx;
         }
+        if (have_prev && prevv >= v) {
+          return Status::InvalidArgument(
+              "mapped trie level " + std::to_string(l) +
+              (l == 0 ? ": values not strictly sorted"
+                      : ": sibling run not strictly sorted"));
+        }
+        prevv = v;
+        have_prev = true;
+        ++pos;
       }
     }
     Level& out = trie.levels_[l];
     out.values_map = in.values;
     out.child_map = in.child_begin;
+    if (in.compressed) {
+      out.comp_map = view;
+      out.compressed = true;
+    }
     out.mapped = true;
   }
+  trie.keepalive_ = std::move(keepalive);
   // Recompute max-range widths from the validated offsets rather than
   // trusting stored values.
-  if (k > 0) {
-    trie.levels_[0].max_range_width =
-        static_cast<uint32_t>(levels[0].values.size());
-    for (int l = 0; l + 1 < k; ++l) {
-      std::span<const uint32_t> begin = levels[l].child_begin;
-      uint32_t widest = 0;
-      for (size_t i = 0; i + 1 < begin.size(); ++i) {
-        widest = std::max(widest, begin[i + 1] - begin[i]);
-      }
-      trie.levels_[l + 1].max_range_width = widest;
-    }
-  }
-  trie.keepalive_ = std::move(keepalive);
+  trie.FinishWidths();
   return trie;
 }
 
 uint64_t Trie::StorageValues() const {
   uint64_t total = 0;
-  for (const Level& level : levels_) {
-    total += level.vals().size() + level.kids().size();
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    total += LevelSize(static_cast<int>(l)) + levels_[l].kids().size();
   }
   return total;
 }
 
+uint64_t Trie::ResidentBytes() const {
+  uint64_t total = 0;
+  for (const Level& level : levels_) {
+    total += level.kids().size() * sizeof(uint32_t);
+    if (level.compressed) {
+      total += bc::ViewResidentBytes(level.comp());
+    } else {
+      total += level.vals().size() * sizeof(Value);
+    }
+  }
+  return total;
+}
+
+uint64_t Trie::CompressedBytes() const {
+  uint64_t total = 0;
+  for (const Level& level : levels_) {
+    if (level.compressed) total += bc::ViewResidentBytes(level.comp());
+  }
+  return total;
+}
+
+bool Trie::any_compressed() const {
+  for (const Level& level : levels_) {
+    if (level.compressed) return true;
+  }
+  return false;
+}
+
+void Trie::DecodeLevelInto(int level, std::vector<Value>* out) const {
+  const Level& l = levels_[level];
+  if (!l.compressed) {
+    out->assign(l.vals().begin(), l.vals().end());
+    return;
+  }
+  const bc::CompressedLevelView view = l.comp();
+  out->resize(view.size);
+  Value* dst = out->data();
+  for (uint32_t b = 0; b < view.num_blocks(); ++b) {
+    dst += bc::DecodeBlock(view, b, dst);
+  }
+}
+
+Value Trie::ValueAt(int level, uint32_t idx) const {
+  const Level& l = levels_[level];
+  if (!l.compressed) return l.vals()[idx];
+  Value buf[bc::kBlockValues];
+  bc::DecodeBlock(l.comp(), idx / bc::kBlockValues, buf);
+  return buf[idx % bc::kBlockValues];
+}
+
+Value Trie::ValueAt(int level, uint32_t idx,
+                    bc::DecodeCache* cache) const {
+  const Level& l = levels_[level];
+  if (!l.compressed) return l.vals()[idx];
+  bc::DecodeBlockCached(l.comp(), idx / bc::kBlockValues, cache, nullptr);
+  return cache->vals[idx % bc::kBlockValues];
+}
+
+namespace {
+
+/// SeekGEQ inside one sibling range of a block-compressed level.
+/// Block minima are comparable only where the block's first position
+/// lies inside [r.lo, r.hi) — a block may straddle sibling-run
+/// boundaries, so mins outside the range belong to other runs. Gallops
+/// over the in-range minima, then decodes exactly one block.
+uint32_t SeekCompressed(const bc::CompressedLevelView& v, Trie::Range r,
+                        Value x, bc::DecodeCache* cache) {
+  constexpr uint32_t B = bc::kBlockValues;
+  const uint32_t blo = r.lo / B;
+  const uint32_t bhi = (r.hi - 1) / B;
+  // Last candidate block cb in [blo, bhi]: the first block, or the
+  // last whose in-range min is still <= x.
+  uint32_t cb = blo;
+  uint32_t step = 1;
+  while (cb + step <= bhi && v.mins[cb + step] <= x) {
+    cb += step;
+    step <<= 1;
+  }
+  uint32_t a = cb + 1;
+  uint32_t bnd = static_cast<uint32_t>(
+      std::min<uint64_t>(uint64_t(cb) + step, bhi) + 1);
+  while (a < bnd) {
+    const uint32_t mid = a + (bnd - a) / 2;
+    if (v.mins[mid] <= x) {
+      a = mid + 1;
+    } else {
+      bnd = mid;
+    }
+  }
+  cb = a - 1;
+  const uint32_t cnt = bc::DecodeBlockCached(v, cb, cache, nullptr);
+  const Value* const buf = cache->vals;
+  const uint64_t base = uint64_t(cb) * B;
+  const uint32_t s = static_cast<uint32_t>(std::max<uint64_t>(r.lo, base) -
+                                           base);
+  const uint32_t e = static_cast<uint32_t>(
+      std::min<uint64_t>(r.hi, base + cnt) - base);
+  const Value* p = std::lower_bound(buf + s, buf + e, x);
+  if (p != buf + e) return static_cast<uint32_t>(base + (p - buf));
+  // Everything in this block's window is < x; the next block's first
+  // value (if still inside the range) is the answer.
+  return static_cast<uint32_t>(std::min<uint64_t>(r.hi, base + B));
+}
+
+}  // namespace
+
 uint32_t Trie::SeekInRange(int level, Range r, Value v) const {
-  std::span<const Value> vals = levels_[level].vals();
+  if (levels_[level].compressed && !r.empty()) {
+    bc::DecodeCache cache;
+    return SeekCompressed(levels_[level].comp(), r, v, &cache);
+  }
+  return SeekInRange(level, r, v, nullptr);
+}
+
+uint32_t Trie::SeekInRange(int level, Range r, Value v,
+                           bc::DecodeCache* cache) const {
+  if (r.empty()) return r.lo;
+  const Level& lvl = levels_[level];
+  if (lvl.compressed) return SeekCompressed(lvl.comp(), r, v, cache);
+  std::span<const Value> vals = lvl.vals();
   uint32_t lo = r.lo;
   uint32_t hi = r.hi;
-  if (lo >= hi || vals[lo] >= v) return lo;
+  if (vals[lo] >= v) return lo;
   // Galloping phase: double the step from lo until we overshoot.
   uint32_t step = 1;
   uint32_t prev = lo;
@@ -343,8 +572,21 @@ uint32_t Trie::SeekInRange(int level, Range r, Value v) const {
 }
 
 uint32_t Trie::FindInRange(int level, Range r, Value v) const {
-  uint32_t idx = SeekInRange(level, r, v);
-  if (idx < r.hi && levels_[level].vals()[idx] == v) return idx;
+  if (levels_[level].compressed) {
+    bc::DecodeCache cache;
+    return FindInRange(level, r, v, &cache);
+  }
+  uint32_t idx = SeekInRange(level, r, v, nullptr);
+  if (idx < r.hi && ValueAt(level, idx) == v) return idx;
+  return r.hi;
+}
+
+uint32_t Trie::FindInRange(int level, Range r, Value v,
+                           bc::DecodeCache* cache) const {
+  uint32_t idx = SeekInRange(level, r, v, cache);
+  // The seek decoded (or found cached) the block holding idx, so the
+  // confirming read is almost always a cache hit.
+  if (idx < r.hi && ValueAt(level, idx, cache) == v) return idx;
   return r.hi;
 }
 
@@ -352,8 +594,8 @@ std::string Trie::ToString() const {
   std::string out = "Trie{";
   for (int l = 0; l < arity(); ++l) {
     if (l > 0) out += "; ";
-    out += "L" + std::to_string(l) + "[" +
-           std::to_string(levels_[l].vals().size()) + "]";
+    out += "L" + std::to_string(l) + "[" + std::to_string(LevelSize(l)) + "]";
+    if (levels_[l].compressed) out += "c";
   }
   if (mmap_backed()) out += " mmap";
   out += "}";

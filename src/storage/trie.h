@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/block_codec.h"
 #include "storage/relation.h"
 
 namespace adj::storage {
@@ -29,6 +30,16 @@ namespace adj::storage {
 /// externally owned memory (FromMapped) — typically a persist snapshot
 /// mapped into the process. Readers cannot tell the difference except
 /// through mmap_backed(); every accessor goes through the same spans.
+///
+/// A level's *value* array additionally has two interchangeable
+/// representations: raw (a flat Value array) or block-compressed
+/// (blockcodec: fixed-size blocks of zigzag deltas with a per-block
+/// min/offset skip table). Compress() picks per level by a density
+/// heuristic; child offset arrays always stay raw so positions,
+/// ChildRange and the executor's index arithmetic are untouched.
+/// Seek/Find/ValueAt work on either form; LevelSpan/RangeSpan are
+/// raw-only (callers branch to CompressedView — see wcoj/intersect.h
+/// for the kernels that intersect compressed runs directly).
 class Trie {
  public:
   /// Range of sibling indexes within one level.
@@ -42,10 +53,34 @@ class Trie {
   /// One level of an externally stored trie: spans into memory the
   /// caller guarantees outlives the Trie (via the keepalive handle).
   /// `child_begin` must be empty for the deepest level and have size
-  /// values.size()+1 otherwise.
+  /// values+1 otherwise. The value array arrives either raw (`values`)
+  /// or block-compressed (`compressed` set: block_mins / block_starts
+  /// / block_bytes + num_values, `values` empty) — the latter is how
+  /// snapshot v3 levels load with zero re-encode.
   struct MappedLevel {
     std::span<const Value> values;
     std::span<const uint32_t> child_begin;
+    bool compressed = false;
+    uint64_t num_values = 0;
+    std::span<const Value> block_mins;
+    std::span<const uint32_t> block_starts;
+    std::span<const uint8_t> block_bytes;
+  };
+
+  /// Per-level compression policy for Compress(). A level is encoded
+  /// only when it is big enough to matter and the encoding actually
+  /// saves space; tiny or incompressible levels keep the raw array
+  /// (decode scratch would cost more than it saves). The root level
+  /// stays raw by default (min_level = 1): it participates as a
+  /// *whole-level* run in every intersection at its variable, so
+  /// probing it decodes blocks far faster than they amortize, while
+  /// deeper levels — which hold the bulk of the bytes — are walked as
+  /// small, block-local sibling ranges where the decode cache hits.
+  struct CompressOptions {
+    uint32_t min_level = 1;   // levels below this index stay raw
+    uint32_t min_level_values = 1024;
+    double max_ratio = 0.85;  // keep raw unless encoded <= ratio * raw
+    bool force = false;       // tests: compress every non-empty level
   };
 
   Trie() = default;
@@ -68,12 +103,30 @@ class Trie {
   /// (storage::Catalog::Apply guarantees all three). Deletes of absent
   /// rows and inserts of present rows are tolerated as no-ops, and
   /// prev may be mmap-backed — the result always owns its arrays.
+  ///
+  /// Compressed prev levels stay compressed in the result, and only
+  /// touched blocks are re-encoded: every block strictly before the
+  /// first delta-affected position is byte-identical under the
+  /// deterministic encoder, so its encoded bytes splice verbatim.
+  /// Blocks at and after it must re-encode regardless — an insert or
+  /// delete shifts downstream positions across block boundaries.
+  /// Max-range widths are recomputed from the merged child arrays
+  /// (never inherited from prev), so a patch that widens a sibling
+  /// range can never leave an executor arena undersized.
   static Trie PatchFrom(const Trie& prev, const Relation& inserts,
                         const Relation& deletes);
 
+  /// Re-encodes `src`'s levels per `opts` (raw levels that pass the
+  /// density heuristic become block-compressed; already-compressed
+  /// levels are kept as-is). Takes by value: callers move a
+  /// freshly-built trie in, and kept-raw arrays transfer without copy.
+  static Trie Compress(Trie src, const CompressOptions& opts);
+  static Trie Compress(Trie src);
+
   /// Wraps externally stored level arrays (e.g. segments of an mmap'ed
   /// snapshot) without copying. Validates the CSR structure — sizes,
-  /// offset monotonicity, child bounds, sorted sibling runs — and
+  /// offset monotonicity, child bounds, sorted sibling runs, and for
+  /// compressed levels the block skip-table/payload structure — and
   /// returns kInvalidArgument on any violation, so a corrupt snapshot
   /// surfaces as a Status instead of UB in the join inner loop.
   /// `keepalive` must own the viewed memory and is held for the trie's
@@ -86,22 +139,52 @@ class Trie {
   bool mmap_backed() const { return keepalive_ != nullptr; }
 
   int arity() const { return static_cast<int>(levels_.size()); }
-  bool empty() const { return arity() == 0 || levels_[0].vals().empty(); }
+  bool empty() const { return arity() == 0 || LevelSize(0) == 0; }
+
+  /// Number of values in one level (raw or compressed).
+  uint64_t LevelSize(int level) const {
+    const Level& l = levels_[level];
+    return l.compressed ? l.comp().size : l.vals().size();
+  }
 
   /// Number of tuples represented (size of the deepest level).
   uint64_t NumTuples() const {
-    return levels_.empty() ? 0 : levels_.back().vals().size();
+    return levels_.empty() ? 0 : LevelSize(arity() - 1);
   }
 
-  /// Total values stored across all levels ("three arrays" payload).
+  /// Total values stored across all levels ("three arrays" payload),
+  /// counting compressed levels at their logical (decoded) size.
   uint64_t StorageValues() const;
+
+  /// Actual resident footprint in bytes: raw arrays at full width,
+  /// compressed levels at skip-table + payload size. This is what the
+  /// IndexCache charges against its byte budget.
+  uint64_t ResidentBytes() const;
+
+  /// Bytes resident in block-compressed levels (0 for raw tries) and
+  /// whether any level is compressed.
+  uint64_t CompressedBytes() const;
+  bool any_compressed() const;
+
+  bool level_compressed(int level) const { return levels_[level].compressed; }
+
+  /// Block-compressed view of one level; only valid when
+  /// level_compressed(level).
+  blockcodec::CompressedLevelView CompressedView(int level) const {
+    return levels_[level].comp();
+  }
+
+  /// Decodes one whole level into `out` (raw levels copy). Cold-path
+  /// helper for writers and tests; the join kernels decode per block.
+  void DecodeLevelInto(int level, std::vector<Value>* out) const;
 
   std::span<const Value> values(int level) const {
     return levels_[level].vals();
   }
 
   /// Flat view over one whole level — the array the intersection
-  /// kernels index into.
+  /// kernels index into. Raw levels only; compressed levels go through
+  /// CompressedView().
   std::span<const Value> LevelSpan(int level) const {
     return levels_[level].vals();
   }
@@ -113,7 +196,7 @@ class Trie {
   }
 
   /// A sibling range as a flat span (kernel input). Positions a kernel
-  /// emits are relative to the span, i.e. to r.lo.
+  /// emits are relative to the span, i.e. to r.lo. Raw levels only.
   std::span<const Value> RangeSpan(int level, Range r) const {
     return levels_[level].vals().subspan(r.lo, r.size());
   }
@@ -127,9 +210,7 @@ class Trie {
 
   /// Sibling range of the root level.
   Range RootRange() const {
-    return {0, static_cast<uint32_t>(levels_.empty()
-                                         ? 0
-                                         : levels_[0].vals().size())};
+    return {0, static_cast<uint32_t>(levels_.empty() ? 0 : LevelSize(0))};
   }
 
   /// Children of entry `idx` of `level` as a range in level+1.
@@ -138,18 +219,35 @@ class Trie {
     return {begin[idx], begin[idx + 1]};
   }
 
-  Value ValueAt(int level, uint32_t idx) const {
-    return levels_[level].vals()[idx];
-  }
+  /// Value at one position. On a compressed level this decodes the
+  /// containing block (O(block)); hot loops stream blocks instead.
+  Value ValueAt(int level, uint32_t idx) const;
+
+  /// ValueAt through a caller-held block-decode cache: a probe into a
+  /// block the cache already holds costs an array read. Raw levels
+  /// ignore the cache.
+  Value ValueAt(int level, uint32_t idx,
+                blockcodec::DecodeCache* cache) const;
 
   /// First index in [r.lo, r.hi) whose value is >= v, or r.hi if none.
   /// Galloping (exponential) search: O(log distance) — this is the
   /// "seek" primitive of Leapfrog and the probe the beta calibration
-  /// measures.
+  /// measures. On compressed levels it gallops the block skip table
+  /// (only block minima whose position falls inside the sibling range
+  /// are comparable — a block may straddle run boundaries) and decodes
+  /// a single block.
   uint32_t SeekInRange(int level, Range r, Value v) const;
+
+  /// SeekInRange through a caller-held block-decode cache. Callers
+  /// probing one level repeatedly (BigJoin's per-binding trie descent)
+  /// keep a cache per level so adjacent probes skip the block decode.
+  uint32_t SeekInRange(int level, Range r, Value v,
+                       blockcodec::DecodeCache* cache) const;
 
   /// Index of exactly `v` in [r.lo, r.hi), or r.hi if absent.
   uint32_t FindInRange(int level, Range r, Value v) const;
+  uint32_t FindInRange(int level, Range r, Value v,
+                       blockcodec::DecodeCache* cache) const;
 
   std::string ToString() const;
 
@@ -157,14 +255,20 @@ class Trie {
   /// A level either owns its arrays (`*_store`, mapped == false) or
   /// views external memory (`*_map`, mapped == true). The two cases
   /// never mix, so default copy/move stay safe: spans never point into
-  /// the level's own vectors.
+  /// the level's own vectors. Orthogonally the value array is raw or
+  /// block-compressed (`compressed`); child offsets are always raw.
   struct Level {
     std::vector<Value> values_store;
     // Size values+1; absent (empty) for the deepest level.
     std::vector<uint32_t> child_store;
     std::span<const Value> values_map;
     std::span<const uint32_t> child_map;
+    // Block-compressed value array (owned / mapped mirror of the two
+    // cases above). When `compressed`, the raw value members are empty.
+    blockcodec::CompressedLevel comp_store;
+    blockcodec::CompressedLevelView comp_map;
     bool mapped = false;
+    bool compressed = false;
     // Widest sibling range within this level (level 0: values size).
     uint32_t max_range_width = 0;
 
@@ -173,6 +277,9 @@ class Trie {
     }
     std::span<const uint32_t> kids() const {
       return mapped ? child_map : std::span<const uint32_t>(child_store);
+    }
+    blockcodec::CompressedLevelView comp() const {
+      return mapped ? comp_map : comp_store.View();
     }
   };
   /// Fills every level's max_range_width from the child arrays (the

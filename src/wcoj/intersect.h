@@ -6,6 +6,7 @@
 #include <span>
 
 #include "common/types.h"
+#include "storage/block_codec.h"
 
 /// Sorted-set intersection kernels — the innermost loop of Leapfrog
 /// TrieJoin, factored out of the executor so one implementation serves
@@ -55,6 +56,7 @@ struct KernelStats {
   uint64_t seeks = 0;               // galloping SeekGEQ invocations
   uint64_t simd_intersections = 0;  // 2-way calls served by SSE/AVX
   uint64_t scalar_fallbacks = 0;    // 2-way calls served scalar
+  uint64_t blocks_decoded = 0;      // compressed blocks decoded to scratch
 };
 
 /// First index in [hint, s.size()) with s[i] >= v, or s.size() if
@@ -111,6 +113,91 @@ size_t IntersectK(const std::span<const Value>* views, int k,
 /// positions). out_vals capacity: the minimum span size.
 size_t IntersectKValues(const std::span<const Value>* views, int k,
                         Value* out_vals, KernelStats* stats = nullptr);
+
+// ---------------------------------------------------------------------------
+// Compressed runs — intersecting block-compressed trie levels directly
+// ---------------------------------------------------------------------------
+//
+// A compressed run is one sibling range [lo, hi) of a block-compressed
+// trie level (storage::blockcodec). The kernels below never decompress
+// the whole run: SeekGEQRun gallops the block skip table and decodes a
+// single block; the intersections walk the overlap block by block,
+// decode one block into a caller-owned blockcodec::DecodeCache, and
+// feed the dispatched 2-way kernel above — so a compressed run still
+// gets the SSE4.2/AVX2 block-compare inner loop, skips whole blocks
+// via the skip table, and does no allocation. The caches are the
+// reason these kernels stay near raw speed on small sibling ranges:
+// a caller that keeps one cache per compressed input across calls
+// (the executor's Descend loop, BigJoin's per-binding expansion)
+// re-decodes a block only when the walk actually leaves it.
+//
+// A block may straddle sibling-run boundaries, so only block minima
+// whose first position lies inside [lo, hi) are comparable; the
+// helpers respect that. Positions emitted for a compressed side are
+// relative to the run (add `lo` for absolute trie indexes), matching
+// the raw-span contract.
+
+/// One sibling range of a block-compressed level.
+struct CompressedRun {
+  storage::blockcodec::CompressedLevelView level;
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  uint32_t size() const { return hi - lo; }
+};
+
+/// A tagged raw-or-compressed input for the k-way driver, so one
+/// Descend path serves both representations.
+struct RunView {
+  std::span<const Value> raw;
+  CompressedRun comp;
+  bool compressed = false;
+
+  size_t size() const { return compressed ? comp.size() : raw.size(); }
+  static RunView Raw(std::span<const Value> s) { return {s, {}, false}; }
+  static RunView Compressed(CompressedRun r) { return {{}, r, true}; }
+};
+
+/// First run-relative index in [hint, r.size()) whose value is >= v,
+/// or r.size() if none. Gallops over in-range block minima, then
+/// decodes (at most) one block through `cache`.
+size_t SeekGEQRun(const CompressedRun& r, Value v, size_t hint,
+                  storage::blockcodec::DecodeCache* cache,
+                  KernelStats* stats = nullptr);
+
+/// Compressed x raw 2-way intersection. Positions for `a` are
+/// run-relative, for `b` span-relative. `cache_a` caches a's block
+/// decodes across calls. out_vals may alias b.data() with writes
+/// trailing reads (the k-way reduction intersects in place), but must
+/// not point into cache_a->vals.
+size_t Intersect2CR(const CompressedRun& a, std::span<const Value> b,
+                    Value* out_vals, uint32_t* out_pa, size_t stride_a,
+                    uint32_t* out_pb, size_t stride_b,
+                    storage::blockcodec::DecodeCache* cache_a,
+                    KernelStats* stats = nullptr);
+
+/// Compressed x compressed 2-way intersection; one cache per side
+/// (they must be distinct objects).
+size_t Intersect2CC(const CompressedRun& a, const CompressedRun& b,
+                    Value* out_vals, uint32_t* out_pa, size_t stride_a,
+                    uint32_t* out_pb, size_t stride_b,
+                    storage::blockcodec::DecodeCache* cache_a,
+                    storage::blockcodec::DecodeCache* cache_b,
+                    KernelStats* stats = nullptr);
+
+/// IntersectK over mixed raw/compressed runs: same output contract
+/// (values + row-major k-wide position matrix, positions relative to
+/// each run). `caches` is an array of k entries parallel to `views`
+/// (entries for raw views are untouched); keeping it alive across
+/// calls is what makes consecutive small ranges hit cached blocks.
+size_t IntersectKRuns(const RunView* views, int k, Value* out_vals,
+                      uint32_t* out_pos, const KScratch& scratch,
+                      storage::blockcodec::DecodeCache* caches,
+                      KernelStats* stats = nullptr);
+
+/// Values-only variant of IntersectKRuns (BigJoin expansion).
+size_t IntersectKValuesRuns(const RunView* views, int k, Value* out_vals,
+                            storage::blockcodec::DecodeCache* caches,
+                            KernelStats* stats = nullptr);
 
 }  // namespace adj::wcoj::intersect
 

@@ -23,6 +23,7 @@ void JoinStats::Merge(const JoinStats& other) {
   cache_misses += other.cache_misses;
   simd_intersections += other.simd_intersections;
   scalar_fallbacks += other.scalar_fallbacks;
+  blocks_decoded += other.blocks_decoded;
 }
 
 const IntersectionCache::Entry* IntersectionCache::Lookup(uint64_t key) const {
@@ -128,6 +129,14 @@ class Executor {
     Value* vals = nullptr;
     uint32_t* pos = nullptr;
     intersect::KScratch scratch;
+    // Only carved when a participant level is block-compressed: tagged
+    // raw/compressed views plus one persistent block-decode cache per
+    // participant, so compressed runs flow through the same kernels
+    // with no per-call allocation — and consecutive Descends whose
+    // small sibling ranges share a block decode it once, not per call.
+    intersect::RunView* views = nullptr;
+    storage::blockcodec::DecodeCache* caches = nullptr;
+    bool has_comp = false;
     uint32_t cap = 0;  // min MaxRangeWidth over participants
   };
 
@@ -141,18 +150,48 @@ class Executor {
   void BuildArena(int n) {
     slots_.assign(n, Slot{});
     std::vector<size_t> parts_off(n), vals_off(n), pos_off(n), pa_off(n),
-        pb_off(n), ord_off(n);
-    size_t total_parts = 0, total_vals = 0, total_u32 = 0;
+        pb_off(n), ord_off(n), bs_off(n);
+    size_t total_parts = 0, total_vals = 0, total_u32 = 0, total_bs = 0;
+    struct ArenaRef {
+      const uint8_t* id;
+      size_t vals_off;
+      size_t bits_off;
+      uint32_t num_blocks;
+    };
+    std::vector<ArenaRef> arenas;
+    size_t total_arena_vals = 0, total_arena_bits = 0;
     for (int i = 0; i < n; ++i) {
       const std::vector<Participant>& parts = participants_[i];
       const size_t k = parts.size();
       uint32_t cap = std::numeric_limits<uint32_t>::max();
+      bool has_comp = false;
       for (const Participant& p : parts) {
         cap = std::min(cap, inputs_[p.input].trie->MaxRangeWidth(p.level));
+        has_comp |= inputs_[p.input].trie->level_compressed(p.level);
       }
       slots_[i].cap = cap;
+      slots_[i].has_comp = has_comp;
       parts_off[i] = total_parts;
       total_parts += k;
+      if (has_comp) {
+        // One decode arena per distinct compressed payload (a self-join
+        // views the same trie level from several participants — size
+        // and decode it once). Offsets into the flat storage below.
+        for (const Participant& p : parts) {
+          const Trie& trie = *inputs_[p.input].trie;
+          if (!trie.level_compressed(p.level)) continue;
+          const auto view = trie.CompressedView(p.level);
+          const uint8_t* pay = view.bytes.data();
+          bool seen = false;
+          for (const ArenaRef& a : arenas) seen |= a.id == pay;
+          if (seen) continue;
+          const uint32_t nb = view.num_blocks();
+          arenas.push_back({pay, total_arena_vals, total_arena_bits, nb});
+          total_arena_vals +=
+              size_t(nb) * storage::blockcodec::kBlockValues;
+          total_arena_bits += (size_t(nb) + 63) / 64;
+        }
+      }
       const bool need_vals = cache_ == nullptr && k >= 2;
       vals_off[i] = total_vals;
       if (need_vals) total_vals += cap;
@@ -164,21 +203,60 @@ class Executor {
       if (k >= 3) total_u32 += cap;
       ord_off[i] = total_u32;
       if (k >= 2) total_u32 += k;
+      bs_off[i] = total_bs;
+      if (has_comp) total_bs += k;
     }
     span_storage_.assign(total_parts, {});
     range_storage_.assign(total_parts, {});
+    view_storage_.assign(total_parts, {});
     vals_storage_.assign(total_vals, 0);
     u32_storage_.assign(total_u32, 0);
+    decode_caches_.assign(total_bs, {});
+    decode_arena_storage_.assign(total_arena_vals, 0);
+    decode_bitmap_storage_.assign(total_arena_bits, 0);
     for (int i = 0; i < n; ++i) {
       Slot& s = slots_[i];
       s.spans = span_storage_.data() + parts_off[i];
       s.ranges = range_storage_.data() + parts_off[i];
+      s.views = view_storage_.data() + parts_off[i];
       s.vals = vals_storage_.data() + vals_off[i];
       s.pos = u32_storage_.data() + pos_off[i];
       s.scratch.pa = u32_storage_.data() + pa_off[i];
       s.scratch.pb = u32_storage_.data() + pb_off[i];
       s.scratch.ord = u32_storage_.data() + ord_off[i];
+      s.caches = decode_caches_.data() + bs_off[i];
+      if (!s.has_comp) continue;
+      // Bind each compressed participant's cache to its payload's
+      // arena: the Descend loops revisit scattered sibling ranges of
+      // the same level, so memoizing decoded blocks for the run is
+      // what keeps direct-on-compressed intersection near raw speed.
+      const std::vector<Participant>& parts = participants_[i];
+      for (size_t j = 0; j < parts.size(); ++j) {
+        const Participant& p = parts[j];
+        const Trie& trie = *inputs_[p.input].trie;
+        if (!trie.level_compressed(p.level)) continue;
+        const uint8_t* pay = trie.CompressedView(p.level).bytes.data();
+        for (const ArenaRef& a : arenas) {
+          if (a.id != pay) continue;
+          s.caches[j].arena_id = pay;
+          s.caches[j].arena = decode_arena_storage_.data() + a.vals_off;
+          s.caches[j].decoded = decode_bitmap_storage_.data() + a.bits_off;
+          break;
+        }
+      }
     }
+  }
+
+  /// True when every block covering [lo, hi) (non-empty) is already
+  /// decoded in the cache's bound arena.
+  static bool RunDecoded(const storage::blockcodec::DecodeCache& c,
+                         uint32_t lo, uint32_t hi) {
+    namespace bc = storage::blockcodec;
+    const uint32_t b1 = (hi - 1) / bc::kBlockValues;
+    for (uint32_t b = lo / bc::kBlockValues; b <= b1; ++b) {
+      if ((c.decoded[b >> 6] & (uint64_t{1} << (b & 63))) == 0) return false;
+    }
+    return true;
   }
 
   /// Sibling range of participant p at order position i, derived from
@@ -207,13 +285,34 @@ class Executor {
     Slot& slot = slots_[i];
 
     // Materialize range + span views; bail out on any empty range.
+    // Slots with a compressed participant build tagged RunViews
+    // instead of raw spans (a compressed level has no flat array).
     for (int j = 0; j < k; ++j) {
       const Participant& p = parts[j];
       const Trie& trie = *inputs_[p.input].trie;
       const Trie::Range r = RangeOf(p);
       if (r.empty()) return Status::OK();
       slot.ranges[j] = r;
-      slot.spans[j] = trie.RangeSpan(p.level, r);
+      if (!slot.has_comp) {
+        slot.spans[j] = trie.RangeSpan(p.level, r);
+      } else if (trie.level_compressed(p.level)) {
+        // Once every block covering the run sits decoded in the
+        // arena, the run is readable as a plain raw span at
+        // arena + lo (non-final blocks are always full, so level
+        // position p lives at arena[p]) — warm ranges then take the
+        // raw kernel path and only cold ranges pay the
+        // direct-on-compressed machinery (which fills the arena).
+        const storage::blockcodec::DecodeCache& c = slot.caches[j];
+        if (c.decoded != nullptr && RunDecoded(c, r.lo, r.hi)) {
+          slot.views[j] = intersect::RunView::Raw(
+              std::span<const Value>(c.arena + r.lo, r.hi - r.lo));
+        } else {
+          slot.views[j] = intersect::RunView::Compressed(
+              {trie.CompressedView(p.level), r.lo, r.hi});
+        }
+      } else {
+        slot.views[j] = intersect::RunView::Raw(trie.RangeSpan(p.level, r));
+      }
     }
 
     if (cache_ != nullptr) return DescendCached(i, parts, slot, k);
@@ -234,10 +333,41 @@ class Executor {
 
     if (k == 1) {
       // Single participant: every sibling value extends the binding —
-      // stream straight off the trie, no materialization.
+      // stream straight off the trie, no materialization. Compressed
+      // levels stream block by block through a stack buffer rather
+      // than paying a per-value block decode via ValueAt.
       const Participant& p = parts[0];
       const Trie& trie = *inputs_[p.input].trie;
       const Trie::Range r = slot.ranges[0];
+      if (slot.has_comp && !slot.views[0].compressed) {
+        // Compressed level whose run was upgraded to a raw arena span.
+        const std::span<const Value> s = slot.views[0].raw;
+        for (uint32_t t = 0; t < s.size(); ++t) {
+          indexes_[p.input][p.level] = r.lo + t;
+          ADJ_RETURN_IF_ERROR(Emit(i, s[t]));
+        }
+        return Status::OK();
+      }
+      if (slot.has_comp) {
+        namespace bc = storage::blockcodec;
+        const bc::CompressedLevelView cv = trie.CompressedView(p.level);
+        bc::DecodeCache* const cache = slot.caches;
+        const uint32_t bend = (r.hi - 1) / bc::kBlockValues;
+        for (uint32_t blk = r.lo / bc::kBlockValues; blk <= bend; ++blk) {
+          const uint32_t cnt = bc::DecodeBlockCached(
+              cv, blk, cache, &kernel_stats_.blocks_decoded);
+          const uint32_t base = blk * bc::kBlockValues;
+          const uint32_t lo = std::max(r.lo, base);
+          const uint32_t hi = std::min(r.hi, base + cnt);
+          for (uint32_t idx = lo; idx < hi; ++idx) {
+            indexes_[p.input][p.level] = idx;
+            // Deeper levels use their own slots' caches, so the block
+            // held here survives the recursion inside Emit.
+            ADJ_RETURN_IF_ERROR(Emit(i, cache->vals[idx - base]));
+          }
+        }
+        return Status::OK();
+      }
       for (uint32_t idx = r.lo; idx < r.hi; ++idx) {
         indexes_[p.input][p.level] = idx;
         ADJ_RETURN_IF_ERROR(Emit(i, trie.ValueAt(p.level, idx)));
@@ -246,8 +376,13 @@ class Executor {
     }
 
     const size_t kk = static_cast<size_t>(k);
-    const size_t n = intersect::IntersectK(slot.spans, k, slot.vals, slot.pos,
-                                           slot.scratch, &kernel_stats_);
+    const size_t n =
+        slot.has_comp
+            ? intersect::IntersectKRuns(slot.views, k, slot.vals, slot.pos,
+                                        slot.scratch, slot.caches,
+                                        &kernel_stats_)
+            : intersect::IntersectK(slot.spans, k, slot.vals, slot.pos,
+                                    slot.scratch, &kernel_stats_);
     for (size_t t = 0; t < n; ++t) {
       for (int j = 0; j < k; ++j) {
         const Participant& p = parts[j];
@@ -278,9 +413,13 @@ class Executor {
       fresh.vals.resize(slot.cap);
       fresh.idxs.resize(size_t(slot.cap) * kk);
       const size_t n =
-          intersect::IntersectK(slot.spans, k, fresh.vals.data(),
-                                fresh.idxs.data(), slot.scratch,
-                                &kernel_stats_);
+          slot.has_comp
+              ? intersect::IntersectKRuns(slot.views, k, fresh.vals.data(),
+                                          fresh.idxs.data(), slot.scratch,
+                                          slot.caches, &kernel_stats_)
+              : intersect::IntersectK(slot.spans, k, fresh.vals.data(),
+                                      fresh.idxs.data(), slot.scratch,
+                                      &kernel_stats_);
       fresh.vals.resize(n);
       fresh.idxs.resize(n * kk);
       fresh.vals.shrink_to_fit();
@@ -338,6 +477,7 @@ class Executor {
     stats_->seeks += kernel_stats_.seeks;
     stats_->simd_intersections += kernel_stats_.simd_intersections;
     stats_->scalar_fallbacks += kernel_stats_.scalar_fallbacks;
+    stats_->blocks_decoded += kernel_stats_.blocks_decoded;
     stats_->extensions += extensions_;
     stats_->cache_hits += cache_hits_;
     stats_->cache_misses += cache_misses_;
@@ -362,8 +502,12 @@ class Executor {
   std::vector<Slot> slots_;
   std::vector<std::span<const Value>> span_storage_;
   std::vector<Trie::Range> range_storage_;
+  std::vector<intersect::RunView> view_storage_;
   std::vector<Value> vals_storage_;
   std::vector<uint32_t> u32_storage_;
+  std::vector<storage::blockcodec::DecodeCache> decode_caches_;
+  std::vector<Value> decode_arena_storage_;
+  std::vector<uint64_t> decode_bitmap_storage_;
   // Local counters, flushed once per Run.
   std::vector<uint64_t> tuples_local_;
   intersect::KernelStats kernel_stats_;

@@ -41,6 +41,9 @@ struct JoinStats {
   // SIMD kernel vs the scalar baseline (see wcoj/intersect.h).
   uint64_t simd_intersections = 0;
   uint64_t scalar_fallbacks = 0;
+  // Compressed-level blocks decoded into kernel scratch (0 when every
+  // bound trie is raw).
+  uint64_t blocks_decoded = 0;
 
   void Merge(const JoinStats& other);
 };

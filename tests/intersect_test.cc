@@ -331,5 +331,179 @@ TEST(LeapfrogKernelTest, JoinCountsKernelUseAndKernelChoiceIsInvisible) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Compressed-run kernels, property-checked against the raw kernels
+// over the same values.
+
+namespace bc = storage::blockcodec;
+
+/// A block-compressed level made of sorted sibling runs, remembering
+/// each run's [lo, hi) — the only ranges the run kernels are defined
+/// over.
+struct RunLevel {
+  std::vector<Value> values;
+  std::vector<std::pair<uint32_t, uint32_t>> runs;
+  bc::CompressedLevel enc;
+
+  CompressedRun Run(size_t i) const {
+    return {enc.View(), runs[i].first, runs[i].second};
+  }
+  std::span<const Value> RawRun(size_t i) const {
+    return std::span<const Value>(values).subspan(
+        runs[i].first, runs[i].second - runs[i].first);
+  }
+};
+
+RunLevel MakeRunLevel(Rng& rng, int num_runs, uint32_t max_run,
+                      uint32_t universe) {
+  RunLevel out;
+  for (int r = 0; r < num_runs; ++r) {
+    const std::vector<Value> run =
+        SortedUnique(rng, 1 + rng.Uniform(max_run), universe);
+    const uint32_t lo = uint32_t(out.values.size());
+    out.values.insert(out.values.end(), run.begin(), run.end());
+    out.runs.emplace_back(lo, uint32_t(out.values.size()));
+  }
+  bc::EncodeLevel(out.values, &out.enc);
+  return out;
+}
+
+TEST(CompressedRunTest, SeekGEQRunMatchesRawSeek) {
+  Rng rng(31337);
+  for (int round = 0; round < 40; ++round) {
+    const RunLevel lvl = MakeRunLevel(rng, 1 + int(rng.Uniform(12)), 400, 5000);
+    bc::DecodeCache cache;
+    KernelStats stats;
+    for (size_t i = 0; i < lvl.runs.size(); ++i) {
+      const std::span<const Value> raw = lvl.RawRun(i);
+      for (int probe = 0; probe < 50; ++probe) {
+        const Value v = Value(rng.Uniform(5200));
+        const size_t hint = rng.Uniform(raw.size() + 1);
+        ASSERT_EQ(SeekGEQRun(lvl.Run(i), v, hint, &cache, &stats),
+                  SeekGEQ(raw, v, hint))
+            << "run " << i << " v=" << v << " hint=" << hint;
+      }
+    }
+  }
+}
+
+TEST(CompressedRunTest, Intersect2CRAndCCMatchRawWithPositions) {
+  Rng rng(271828);
+  for (int round = 0; round < 60; ++round) {
+    const RunLevel la = MakeRunLevel(rng, 1 + int(rng.Uniform(6)), 500, 4000);
+    const RunLevel lb = MakeRunLevel(rng, 1 + int(rng.Uniform(6)), 500, 4000);
+    const size_t ia = rng.Uniform(la.runs.size());
+    const size_t ib = rng.Uniform(lb.runs.size());
+    const std::span<const Value> ra = la.RawRun(ia), rb = lb.RawRun(ib);
+    const size_t cap = std::min(ra.size(), rb.size());
+
+    std::vector<Value> want(cap), got(cap);
+    std::vector<uint32_t> want_pa(cap), want_pb(cap), pa(cap), pb(cap);
+    const size_t wn = Intersect2(ra, rb, want.data(), want_pa.data(), 1,
+                                 want_pb.data(), 1, nullptr);
+
+    bc::DecodeCache ca, cb;
+    KernelStats stats;
+    const size_t cr = Intersect2CR(la.Run(ia), rb, got.data(), pa.data(), 1,
+                                   pb.data(), 1, &ca, &stats);
+    ASSERT_EQ(cr, wn) << "CR round " << round;
+    for (size_t t = 0; t < wn; ++t) {
+      ASSERT_EQ(got[t], want[t]) << "CR value " << t;
+      ASSERT_EQ(pa[t], want_pa[t]) << "CR pos-a " << t;
+      ASSERT_EQ(pb[t], want_pb[t]) << "CR pos-b " << t;
+    }
+
+    const size_t cc = Intersect2CC(la.Run(ia), lb.Run(ib), got.data(),
+                                   pa.data(), 1, pb.data(), 1, &ca, &cb,
+                                   &stats);
+    ASSERT_EQ(cc, wn) << "CC round " << round;
+    for (size_t t = 0; t < wn; ++t) {
+      ASSERT_EQ(got[t], want[t]) << "CC value " << t;
+      ASSERT_EQ(pa[t], want_pa[t]) << "CC pos-a " << t;
+      ASSERT_EQ(pb[t], want_pb[t]) << "CC pos-b " << t;
+    }
+    EXPECT_GT(stats.blocks_decoded, 0u);
+  }
+}
+
+TEST(CompressedRunTest, KWayRunsMatchRawKWayMixedRepresentations) {
+  Rng rng(1618);
+  for (int round = 0; round < 40; ++round) {
+    const int k = 2 + int(rng.Uniform(3));
+    std::vector<RunLevel> levels;
+    std::vector<size_t> run_idx;
+    for (int j = 0; j < k; ++j) {
+      levels.push_back(MakeRunLevel(rng, 1 + int(rng.Uniform(4)), 400, 3000));
+      run_idx.push_back(rng.Uniform(levels[j].runs.size()));
+    }
+    std::vector<std::span<const Value>> raw(k);
+    std::vector<RunView> views(k);
+    size_t cap = SIZE_MAX;
+    for (int j = 0; j < k; ++j) {
+      raw[j] = levels[j].RawRun(run_idx[j]);
+      // Mix representations: every other input stays raw.
+      views[j] = (j % 2 == 0)
+                     ? RunView::Compressed(levels[j].Run(run_idx[j]))
+                     : RunView::Raw(raw[j]);
+      cap = std::min(cap, raw[j].size());
+    }
+
+    std::vector<Value> want(cap), got(cap);
+    std::vector<uint32_t> want_pos(cap * k), pos(cap * k);
+    std::vector<uint32_t> spa(cap), spb(cap), sord(k);
+    const KScratch ws{spa.data(), spb.data(), sord.data()};
+    const size_t wn =
+        IntersectK(raw.data(), k, want.data(), want_pos.data(), ws, nullptr);
+
+    std::vector<uint32_t> gpa(cap), gpb(cap), gord(k);
+    const KScratch gs{gpa.data(), gpb.data(), gord.data()};
+    std::vector<bc::DecodeCache> caches(k);
+    KernelStats stats;
+    const size_t gn = IntersectKRuns(views.data(), k, got.data(), pos.data(),
+                                     gs, caches.data(), &stats);
+    ASSERT_EQ(gn, wn) << "round " << round;
+    for (size_t t = 0; t < wn; ++t) {
+      ASSERT_EQ(got[t], want[t]) << "value " << t;
+      for (int j = 0; j < k; ++j) {
+        ASSERT_EQ(pos[t * k + j], want_pos[t * k + j])
+            << "pos " << t << " input " << j;
+      }
+    }
+
+    // Values-only variant agrees too.
+    std::vector<Value> vals_only(cap);
+    std::vector<bc::DecodeCache> vcaches(k);
+    const size_t vn = IntersectKValuesRuns(views.data(), k, vals_only.data(),
+                                           vcaches.data(), &stats);
+    ASSERT_EQ(vn, wn);
+    for (size_t t = 0; t < wn; ++t) ASSERT_EQ(vals_only[t], want[t]);
+  }
+}
+
+TEST(DenseKernelTest, DispatchedDenseIntersectionAgreesWithScalar) {
+  Rng rng(42424);
+  for (int round = 0; round < 20; ++round) {
+    // Dense similar-size inputs (small gaps, lengths within 4x) steer
+    // the dispatcher onto the all-pairs SIMD kernel when the CPU has
+    // one; the answer must not depend on that choice.
+    std::vector<Value> a, b;
+    Value va = 0, vb = 0;
+    const size_t na = 2000 + rng.Uniform(2000);
+    const size_t nb = na / (1 + rng.Uniform(3));
+    for (size_t i = 0; i < na; ++i) a.push_back(va += 1 + Value(rng.Uniform(3)));
+    for (size_t i = 0; i < nb; ++i) b.push_back(vb += 1 + Value(rng.Uniform(3)));
+
+    const size_t cap = std::min(a.size(), b.size());
+    std::vector<Value> want(cap), got(cap);
+    KernelStats stats;
+    const size_t wn = Intersect2Scalar(a, b, want.data(), nullptr, 1, nullptr,
+                                       1, &stats);
+    const size_t gn =
+        Intersect2(a, b, got.data(), nullptr, 1, nullptr, 1, &stats);
+    ASSERT_EQ(gn, wn) << "round " << round;
+    for (size_t t = 0; t < wn; ++t) ASSERT_EQ(got[t], want[t]);
+  }
+}
+
 }  // namespace
 }  // namespace adj::wcoj::intersect
